@@ -1,0 +1,19 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench examples smoke all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
+
+smoke:
+	$(PYTHON) -m pytest tests/lang tests/ir tests/analysis -q
+
+all: test bench

@@ -1,0 +1,70 @@
+"""Ablation: communication/computation ratio sensitivity.
+
+The paper attributes its gains to hiding remote latency behind
+computation, and predicts machine/workload dependence ("even better
+improvement expected on ... architectures with lower communication
+startup").  This bench sweeps the per-element computation of the
+Epithelial kernel's solver loop: as local work grows, communication
+shrinks relative to total time and the pipelining win must fade —
+the crossover the paper's model implies.
+"""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.apps import epithelial
+from repro.runtime import CM5
+
+from benchmarks.bench_common import print_table
+
+FLOP_SWEEP = (0, 4, 16, 64, 256)
+PROCS = 8
+SEED = 7
+
+
+def _source_with_flops(flops: int) -> str:
+    base = epithelial.source(PROCS)
+    return base.replace(
+        f"r < {epithelial.FLOPS};", f"r < {flops};"
+    )
+
+
+def _collect():
+    rows = []
+    for flops in FLOP_SWEEP:
+        source = _source_with_flops(flops)
+        baseline = compile_source(source, OptLevel.O1).run(
+            PROCS, CM5, seed=SEED
+        )
+        optimized = compile_source(source, OptLevel.O3).run(
+            PROCS, CM5, seed=SEED
+        )
+        gain = baseline.cycles / optimized.cycles
+        rows.append(
+            (
+                flops,
+                baseline.cycles,
+                optimized.cycles,
+                f"{gain:.2f}x",
+                f"{optimized.utilization():.2f}",
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ratio_sweep(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table(
+        "Ablation: pipelining gain vs per-element computation "
+        "(Epithelial solver flops)",
+        ("flops/elem", "cycles O1", "cycles O3", "gain", "util O3"),
+        rows,
+    )
+    gains = [float(row[3][:-1]) for row in rows]
+    # Gains fade monotonically (allowing small noise) as computation
+    # grows, and the extremes are far apart.
+    assert gains[0] == max(gains)
+    assert gains[-1] == min(gains)
+    assert gains[0] > 1.5
+    assert gains[-1] < gains[0] * 0.75

@@ -1,0 +1,81 @@
+"""Figure 13: speedup curves for the Epithelial kernel.
+
+The paper sweeps processor counts (up to ~36 on the CM-5) and shows
+that the optimized versions scale better than the unoptimized one.  We
+sweep 1..32 simulated processors at the same three optimization levels
+and report speedup relative to each level's single-processor run.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.runtime import CM5
+
+from benchmarks.bench_common import (
+    FIG12_LABELS,
+    FIG12_LEVELS,
+    print_table,
+    run_cached,
+)
+
+PROC_SWEEP = (1, 2, 4, 8, 16, 32)
+SEED = 7
+
+
+def _sweep():
+    app = get_app("epithelial")
+    cycles = {}
+    for procs in PROC_SWEEP:
+        source = app.source(procs)
+        for level in FIG12_LEVELS:
+            result = run_cached(source, level, procs, CM5, SEED)
+            app.check(result.snapshot(), procs)
+            cycles[(level, procs)] = result.cycles
+    return cycles
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_figure13_epithelial_speedup_curves(benchmark):
+    cycles = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for procs in PROC_SWEEP:
+        row = [procs]
+        for level in FIG12_LEVELS:
+            speedup = cycles[(level, 1)] / cycles[(level, procs)]
+            row.append(f"{speedup:.2f}")
+        row.extend(cycles[(level, procs)] for level in FIG12_LEVELS)
+        rows.append(tuple(row))
+    print_table(
+        "Figure 13: Epithelial speedup vs processors (CM-5 model)",
+        ("procs",
+         *(f"speedup {FIG12_LABELS[lvl]}" for lvl in FIG12_LEVELS),
+         "cycles O1", "cycles O2", "cycles O3"),
+        rows,
+    )
+
+    # Shape assertions mirroring the paper's figure:
+    # 1. every level gets faster with more processors in the scaling
+    #    regime (2 -> 8 procs; note the unoptimized version may be
+    #    *slower* on 2 processors than on 1 — unoverlapped remote
+    #    latency swamps the parallelism, which is exactly the behavior
+    #    that motivates the paper);
+    for level in FIG12_LEVELS:
+        assert cycles[(level, 4)] < cycles[(level, 2)]
+        assert cycles[(level, 8)] < cycles[(level, 4)]
+        assert cycles[(level, 16)] < cycles[(level, 8)]
+    # The *optimized* code already wins at 2 processors.
+    assert cycles[(FIG12_LEVELS[2], 2)] < cycles[(FIG12_LEVELS[2], 1)]
+    # 2. the optimized versions are faster at every processor count > 1;
+    for procs in PROC_SWEEP[1:]:
+        assert cycles[(FIG12_LEVELS[1], procs)] <= cycles[
+            (FIG12_LEVELS[0], procs)
+        ]
+        assert cycles[(FIG12_LEVELS[2], procs)] <= cycles[
+            (FIG12_LEVELS[1], procs)
+        ]
+    # 3. "the optimized versions scale better with processors":
+    #    absolute advantage at the paper's operating point.
+    for procs in (8, 16, 32):
+        base = cycles[(FIG12_LEVELS[0], procs)]
+        opt = cycles[(FIG12_LEVELS[2], procs)]
+        assert opt < 0.85 * base, procs

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Explore a program's delay set with witness cycles.
+
+For the paper's Figure 5 producer/consumer, prints the grouped delay
+report at both analysis levels, each delay annotated with the concrete
+violation cycle (back-path) it prevents — the figure-eight of Figure 1,
+materialized for every edge.
+
+Run:  python examples/delay_explorer.py [path/to/program.ms]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import analyze_source
+from repro.analysis.delays import AnalysisLevel
+from repro.analysis.report import compare_levels, render_report
+
+FIGURE_5 = """
+shared int X;
+shared int Y;
+shared flag_t F;
+void main() {
+  int u; int v;
+  if (MYPROC == 0) { X = 1; Y = 2; post(F); }
+  else { wait(F); v = Y; u = X; }
+}
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            source = handle.read()
+    else:
+        source = FIGURE_5
+        print("(no file given: using the paper's Figure 5)\n")
+
+    sas = analyze_source(source, AnalysisLevel.SAS)
+    sync = analyze_source(source, AnalysisLevel.SYNC)
+
+    print("================ Shasha–Snir only (§4) ================")
+    print(render_report(sas, witnesses=True))
+    print()
+    print("=========== with synchronization analysis (§5) ===========")
+    print(render_report(sync, witnesses=True))
+    print()
+    print("================ summary ================")
+    print(f"{'group':14} {'S&S':>5} {'sync':>5}")
+    for name, before, after in compare_levels(sas, sync):
+        print(f"{name:14} {before:5d} {after:5d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Message pipelining and one-way communication on a ring exchange.
+
+Every processor scatters a block of values into its right neighbor's
+slice of a distributed array, then everyone meets at a barrier.  The
+compiler progression:
+
+* O1 — split-phase puts constrained by the Shasha–Snir delay set;
+* O2 — the synchronization analysis proves the writes disjoint and
+  barrier-anchored, so the puts pipeline (one sync at the barrier);
+* O3 — the syncs sit at the barrier, so the puts become one-way
+  ``store``s: the acknowledgement traffic disappears entirely.
+
+Run:  python examples/neighbor_exchange.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import OptLevel, compile_source
+from repro.runtime import CM5
+from repro.runtime.network import MsgKind
+
+SOURCE = """
+shared double Ring[512];
+
+void main() {
+  int i;
+  int nb = (MYPROC + 1) % PROCS;
+  for (i = 0; i < 64; i = i + 1) {
+    Ring[nb * 64 + i] = 1.0 * (nb * 64 + i);
+  }
+  barrier();
+}
+"""
+
+
+def main() -> None:
+    print(f"{'level':6} {'cycles':>8} {'messages':>9} "
+          f"{'puts':>6} {'stores':>7} {'acks':>6}")
+    for level in (OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3):
+        program = compile_source(SOURCE, level)
+        run = program.run(num_procs=8, machine=CM5, seed=3)
+        stats = run.network.stats
+        print(
+            f"{level.value:6} {run.cycles:8d} {run.total_messages:9d} "
+            f"{stats.count(MsgKind.PUT_REQ):6d} "
+            f"{stats.count(MsgKind.STORE_REQ):7d} "
+            f"{stats.count(MsgKind.PUT_ACK):6d}"
+        )
+        snapshot = run.snapshot()
+        assert all(
+            abs(snapshot["Ring"][k] - k) < 1e-9 for k in range(512)
+        ), "wrong result!"
+    print()
+    print("O3's stores need no acknowledgements; their completion is")
+    print("guaranteed by the barrier's implicit all_store_sync.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Post-wait synchronization analysis (the paper's Figure 5).
+
+A producer writes two values and posts a flag; consumers wait and read.
+Plain Shasha–Snir cycle detection finds *spurious* delays between the
+data writes (and between the data reads) because it treats the post and
+wait as ordinary conflicting accesses.  The paper's synchronization
+analysis derives the post→wait precedence, orients the conflict edges,
+and the spurious delays disappear — which is what lets the writes and
+reads pipeline.
+
+Run:  python examples/producer_consumer.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import OptLevel, analyze_source, compile_source
+from repro.analysis.delays import AnalysisLevel
+from repro.runtime import CM5
+
+FIGURE_5 = """
+shared double X[64];
+shared double Y[64];
+shared flag_t ready;
+
+void main() {
+  int i;
+  double xs[64];
+  double ys[64];
+  if (MYPROC == 0) {
+    for (i = 0; i < 64; i = i + 1) { X[i] = 1.0 * i; }
+    for (i = 0; i < 64; i = i + 1) { Y[i] = 2.0 * i; }
+    post(ready);
+  }
+  wait(ready);
+  for (i = 0; i < 64; i = i + 1) { ys[i] = Y[i]; }
+  for (i = 0; i < 64; i = i + 1) { xs[i] = X[i]; }
+}
+"""
+
+
+def show_analysis(level: AnalysisLevel) -> None:
+    result = analyze_source(FIGURE_5, level)
+    print(f"--- {result.level.value} ---")
+    print(f"delay set size: {result.stats.delay_size}")
+    sync_involving = sum(
+        1 for a, b in result.delay_edges() if a.is_sync or b.is_sync
+    )
+    print(f"  involving synchronization: {sync_involving}")
+    print(f"  data-data (spurious if nonzero under sync analysis): "
+          f"{result.stats.delay_size - sync_involving}")
+
+
+def main() -> None:
+    show_analysis(AnalysisLevel.SAS)
+    show_analysis(AnalysisLevel.SYNC)
+
+    print()
+    print("Execution on the CM-5 model (4 processors):")
+    base = None
+    for level in (OptLevel.O1, OptLevel.O2):
+        program = compile_source(FIGURE_5, level)
+        run = program.run(num_procs=4, machine=CM5, seed=1)
+        if base is None:
+            base = run.cycles
+        print(f"  {level.value}: {run.cycles:6d} cycles "
+              f"(normalized {run.cycles / base:.2f})")
+    print()
+    print("O1 pipelines almost nothing (Shasha–Snir's spurious cycles);")
+    print("O2 overlaps the producer's writes and the consumers' reads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze, compile and simulate a MiniSplit program.
+
+This walks the paper's Figure 1: a flag/data handshake where naive
+reordering breaks sequential consistency.  We (1) run the delay-set
+analysis and print the delays cycle detection finds, (2) compile at
+several optimization levels, and (3) simulate on the CM-5 machine
+model, checking that the optimized program still behaves sequentially
+consistently under an adversarial (jittery) network.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import OptLevel, analyze_source, compile_source
+from repro.analysis.delays import AnalysisLevel
+from repro.runtime import CM5
+from repro.runtime.consistency import is_sequentially_consistent
+
+# The paper's Figure 1, written as one SPMD program: processor 0 is the
+# producer (writes Data, then raises Flag); processor 1 is the consumer
+# (reads Flag, then Data).  If Flag was seen as 1, Data must be 1.
+FIGURE_1 = """
+shared int Data;
+shared int Flag;
+
+void main() {
+  int f; int d;
+  if (MYPROC == 0) {
+    Data = 1;
+    Flag = 1;
+  }
+  if (MYPROC == 1) {
+    f = Flag;
+    d = Data;
+  }
+}
+"""
+
+
+def main() -> None:
+    print("=== Delay-set analysis (cycle detection) ===")
+    result = analyze_source(FIGURE_1, AnalysisLevel.SAS)
+    print(f"accesses: {result.stats.num_accesses}, "
+          f"conflict pairs: {result.stats.conflict_pairs}")
+    print("delays required for sequential consistency:")
+    for a, b in result.delay_edges():
+        print(f"  {b} must wait for {a}")
+
+    print()
+    print("=== Compile and simulate on the CM-5 model ===")
+    for level in (OptLevel.O0, OptLevel.O1, OptLevel.O3):
+        program = compile_source(FIGURE_1, level)
+        # A jittery network adversarially reorders messages; the delay
+        # set must keep the execution sequentially consistent anyway.
+        machine = CM5.with_jitter(300)
+        run = program.run(num_procs=2, machine=machine, seed=42,
+                          trace=True)
+        sc = is_sequentially_consistent(run.trace)
+        print(f"{level.value}: {run.cycles:6d} cycles, "
+              f"{run.total_messages} messages, "
+              f"sequentially consistent: {sc}")
+        assert sc, "SC violation — the delay set failed!"
+
+    print()
+    print("The writes on processor 0 stay ordered (cycle detection put")
+    print("a delay between them), so no execution shows Flag=1,Data=0.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Parallel program analyses: conflicts, cycle detection, synchronization.
+
+This package implements the paper's contribution: Shasha–Snir delay-set
+analysis (cycle detection) refined with post-wait, barrier, and lock
+synchronization information.
+"""

@@ -1,0 +1,212 @@
+"""Delay-set computation driver.
+
+Assembles the full analysis of the paper:
+
+* ``AnalysisLevel.SAS`` — plain Shasha–Snir cycle detection (§4):
+  synchronization operations are just conflicting memory accesses, no
+  precedence information.  This is the baseline the paper improves on.
+
+* ``AnalysisLevel.SYNC`` — the paper's contribution (§5): the six-step
+  refinement using post-wait matching, barrier phase intervals and lock
+  guards to orient conflict edges and prune back-path searches.
+
+The result bundles everything downstream passes need: the delay set as
+instruction-uid pairs, the precedence relation, local (same-processor)
+dependence pairs, and size statistics for the evaluation benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.accesses import Access, AccessSet
+from repro.analysis.conflicts import (
+    ConflictSet,
+    local_dependence_pairs,
+)
+from repro.analysis.cycle.spmd import BackPathEngine
+from repro.analysis.sync.barriers import BarrierPhases, BarrierSegments
+from repro.analysis.sync.locks import LockGuards
+from repro.analysis.sync.postwait import match_post_wait
+from repro.analysis.sync.precedence import PrecedenceRelation
+from repro.ir.cfg import Function
+from repro.ir.dominators import DominatorTree
+
+
+class AnalysisLevel(enum.Enum):
+    """How much synchronization information the analysis uses."""
+
+    SAS = "shasha-snir"
+    SYNC = "sync-aware"
+
+
+@dataclass
+class AnalysisStats:
+    """Size statistics reported by the evaluation benches."""
+
+    num_accesses: int = 0
+    num_sync_accesses: int = 0
+    conflict_pairs: int = 0
+    directed_conflict_edges: int = 0
+    d1_size: int = 0
+    precedence_size: int = 0
+    delay_size: int = 0
+    p_pairs: int = 0
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the code generator needs from the parallel analysis."""
+
+    level: AnalysisLevel
+    accesses: AccessSet
+    conflicts: ConflictSet
+    oriented_conflicts: ConflictSet
+    precedence: Optional[PrecedenceRelation]
+    d1: Set[Tuple[int, int]]
+    delays_by_index: Set[Tuple[int, int]]
+    #: The delay set as (earlier uid, later uid) pairs.
+    delay_uid_pairs: FrozenSet[Tuple[int, int]] = frozenset()
+    #: Same-processor may-same-location dependences as uid pairs.
+    local_dep_uid_pairs: FrozenSet[Tuple[int, int]] = frozenset()
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+
+    def is_delayed(self, earlier_uid: int, later_uid: int) -> bool:
+        """Must ``later`` be held until ``earlier`` completes?"""
+        return (earlier_uid, later_uid) in self.delay_uid_pairs
+
+    def delay_edges(self):
+        """Delay edges as (Access, Access) pairs, for reporting."""
+        accesses = list(self.accesses)
+        return [
+            (accesses[u], accesses[v]) for u, v in sorted(self.delays_by_index)
+        ]
+
+
+def _sync_pair_filter(u: Access, v: Access) -> bool:
+    return u.is_sync or v.is_sync
+
+
+def analyze_function(
+    function: Function,
+    level: AnalysisLevel = AnalysisLevel.SYNC,
+) -> AnalysisResult:
+    """Runs delay-set analysis on one (fully inlined) SPMD function."""
+    from repro.ir.symrefine import refine_index_metadata
+
+    refine_index_metadata(function)
+    accesses = AccessSet(function)
+    conflicts = ConflictSet(accesses)
+    engine = BackPathEngine(accesses, conflicts)
+
+    if level is AnalysisLevel.SAS:
+        delays = engine.delay_set()
+        result = AnalysisResult(
+            level=level,
+            accesses=accesses,
+            conflicts=conflicts,
+            oriented_conflicts=conflicts,
+            precedence=None,
+            d1=set(),
+            delays_by_index=delays,
+        )
+        return _finish(result, function)
+
+    dominators = DominatorTree(function)
+
+    # Step 2: initial delay restrictions — pairs involving a sync access.
+    d1 = engine.delay_set(pair_filter=_sync_pair_filter)
+
+    # Step 3: direct precedence edges.
+    precedence = PrecedenceRelation(accesses)
+    for post, wait in match_post_wait(accesses):
+        precedence.add(post, wait)
+    phases = BarrierPhases(accesses)
+    for a, b in phases.ordered_pairs():
+        precedence.add(a, b)
+    # "R is expanded to include the transitive closure of itself and D1."
+    precedence.add_pairs(d1)
+    precedence.transitive_close()
+
+    # Step 4: the dominator refinement, to fixpoint.
+    precedence.refine_with_dominators(d1, dominators)
+
+    # Step 5: orient conflict edges implied by the precedence.
+    oriented = conflicts.copy()
+    access_list = list(accesses)
+    for a1_index, a2_index in precedence.pairs():
+        oriented.remove_direction(
+            access_list[a2_index], access_list[a1_index]
+        )
+
+    # §5.2: drop conflict edges between barrier-separated data accesses.
+    # Their instances never share a global phase, and D1 (already
+    # computed, with the full conflict set) anchors each access to its
+    # phase boundaries with [access, barrier] delays.
+    segments = BarrierSegments(accesses)
+    for a in access_list:
+        if a.is_sync:
+            continue
+        row = oriented.row(a)
+        for b in access_list:
+            if b.is_sync or not row >> b.index & 1:
+                continue
+            if segments.separated(a, b):
+                oriented.remove_direction(a, b)
+                oriented.remove_direction(b, a)
+
+    # Step 6: final delay set over P ∪ C1 with access pruning.
+    guards = LockGuards(accesses, dominators, d1)
+    engine2 = BackPathEngine(accesses, oriented)
+
+    def excluded_for(u: Access, v: Access) -> int:
+        # Figure 6's rule and its dual: accesses forced after u, or
+        # forced before v, cannot appear in a back-path from v to u.
+        mask = precedence.successors_mask(u.index)
+        mask |= precedence.predecessors_mask(v.index)
+        mask &= ~(1 << u.index)
+        mask &= ~(1 << v.index)
+        # The §5.3 lock exclusion may legitimately include u and v
+        # themselves (their other-processor instances are guarded too).
+        mask |= guards.exclusion_mask(u, v)
+        return mask
+
+    delays = engine2.delay_set(excluded_for=excluded_for)
+    delays |= d1
+
+    result = AnalysisResult(
+        level=level,
+        accesses=accesses,
+        conflicts=conflicts,
+        oriented_conflicts=oriented,
+        precedence=precedence,
+        d1=d1,
+        delays_by_index=delays,
+    )
+    return _finish(result, function)
+
+
+def _finish(result: AnalysisResult, function: Function) -> AnalysisResult:
+    accesses = result.accesses
+    access_list = list(accesses)
+    result.delay_uid_pairs = frozenset(
+        (access_list[u].uid, access_list[v].uid)
+        for u, v in result.delays_by_index
+    )
+    result.local_dep_uid_pairs = frozenset(local_dependence_pairs(accesses))
+    stats = result.stats
+    stats.num_accesses = len(accesses)
+    stats.num_sync_accesses = len(accesses.sync_accesses())
+    stats.conflict_pairs = result.conflicts.pair_count
+    stats.directed_conflict_edges = (
+        result.oriented_conflicts.directed_edge_count()
+    )
+    stats.d1_size = len(result.d1)
+    stats.precedence_size = (
+        result.precedence.pair_count() if result.precedence else 0
+    )
+    stats.delay_size = len(result.delays_by_index)
+    stats.p_pairs = len(accesses.p_pairs())
+    return result

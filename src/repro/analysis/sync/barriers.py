@@ -1,0 +1,303 @@
+"""Barrier phase analysis (§5.2).
+
+Barriers split an SPMD execution into global phases: the k-th barrier
+*episode* is a rendezvous of all processors, so every access a processor
+performs before its (k+1)-th barrier arrival happens before anything any
+processor performs after the (k+1)-th episode completes.
+
+Statically we compute, for every access, an interval
+``[min_phase, max_phase]`` of the number of barriers executed before it
+(``max_phase`` is unbounded when a barrier sits on a cycle reaching the
+access).  The sound ordering rule is then
+
+    max_phase(a) < min_phase(b)   =>   a precedes b (on any processors).
+
+This interval formulation is sound without the undecidable static
+barrier-alignment proof the paper discusses (its Figure 7): intervals
+are taken over *all* CFG paths, so they cover every path any processor
+may take; and executions whose processors would disagree on barrier
+counts deadlock at the rendezvous rather than proceed inconsistently.
+The paper's two-version runtime check is the code-generation-side
+counterpart; see ``repro.codegen.pipeline`` for how we surface it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.accesses import Access, AccessKind, AccessSet
+from repro.ir.cfg import Function
+from repro.ir.instructions import Opcode
+
+#: Effectively-infinite phase bound.
+UNBOUNDED: Optional[int] = None
+
+
+class BarrierSegments:
+    """Barrier-free reachability between accesses (§5.2).
+
+    Two accesses are *barrier-separated* when every control-flow path
+    between them (in either direction, including around loops) crosses
+    a barrier.  Under the paper's barrier-alignment assumption (all
+    processors execute the same barrier sequence — enforced dynamically
+    by the rendezvous: misaligned executions deadlock rather than run
+    on), dynamic instances of barrier-separated accesses are never in
+    the same global phase, so their conflict edge cannot participate in
+    a violation cycle *provided* the accesses remain anchored to their
+    phase boundaries — which the initial delay set ``D1`` (computed
+    before any edges are removed) guarantees with its
+    ``[access, barrier]`` delays.
+
+    The computation splits every basic block into segments at its
+    barrier instructions; segment-graph edges connect a block's last
+    segment to each successor's first segment, so any path that crosses
+    a barrier is absent from the graph.
+    """
+
+    def __init__(self, accesses: "AccessSet"):
+        self._accesses = accesses
+        function = accesses.function
+        # Segment id for every (block, instruction index).
+        self._segment_of: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        last_segment: Dict[str, Tuple[str, int]] = {}
+        for block in function.blocks:
+            seg = 0
+            for index, instr in enumerate(block.instrs):
+                self._segment_of[(block.label, index)] = (block.label, seg)
+                if instr.op is Opcode.BARRIER:
+                    seg += 1
+            last_segment[block.label] = (block.label, seg)
+
+        # Segment graph: last segment of a block -> successors' first.
+        succs: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+        for block in function.blocks:
+            exits = last_segment[block.label]
+            succs.setdefault(exits, [])
+            for succ in block.successors():
+                succs[exits].append((succ, 0))
+
+        # Reachability over segments (non-empty paths).
+        self._reach: Dict[Tuple[str, int], set] = {}
+        nodes = set(self._segment_of.values()) | set(succs)
+        for node in nodes:
+            seen: set = set()
+            stack = list(succs.get(node, []))
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(succs.get(current, []))
+            self._reach[node] = seen
+
+    def _position(self, access: Access) -> Tuple[str, int]:
+        return self._segment_of[(access.block, access.position)]
+
+    def barrier_free_path(self, a: Access, b: Access) -> bool:
+        """Is there a path from ``a`` to ``b`` crossing no barrier?"""
+        seg_a = self._position(a)
+        seg_b = self._position(b)
+        if seg_a == seg_b:
+            if a.position < b.position or a.index == b.index:
+                return True
+            # Around a loop and back without a barrier?
+            return seg_a in self._reach.get(seg_a, ())
+        return seg_b in self._reach.get(seg_a, ())
+
+    def separated(self, a: Access, b: Access) -> bool:
+        """True when every path between a and b crosses a barrier."""
+        return not self.barrier_free_path(a, b) and not (
+            self.barrier_free_path(b, a)
+        )
+
+
+class BarrierPhases:
+    """Min/max barrier-count intervals for every access of a function."""
+
+    def __init__(self, accesses: AccessSet):
+        self._accesses = accesses
+        function = accesses.function
+        self._weights = {
+            block.label: sum(
+                1 for instr in block.instrs if instr.op is Opcode.BARRIER
+            )
+            for block in function.blocks
+        }
+        self._min_in = self._compute_min(function)
+        self._max_in = self._compute_max(function)
+        self.intervals: Dict[int, Tuple[int, Optional[int]]] = {}
+        for access in accesses:
+            self.intervals[access.index] = self._interval_of(access)
+
+    # -- block-level fixpoints ---------------------------------------------
+
+    def _compute_min(self, function: Function) -> Dict[str, int]:
+        """Fewest barriers along any entry path (excluding own block)."""
+        INF = 1 << 60
+        dist = {block.label: INF for block in function.blocks}
+        dist[function.entry.label] = 0
+        worklist = [function.entry.label]
+        while worklist:
+            label = worklist.pop(0)
+            out = dist[label] + self._weights[label]
+            for succ in function.block(label).successors():
+                if out < dist[succ]:
+                    dist[succ] = out
+                    worklist.append(succ)
+        return dist
+
+    def _compute_max(self, function: Function) -> Dict[str, Optional[int]]:
+        """Most barriers along any entry path; None when unbounded.
+
+        A block is unbounded when some cycle containing a barrier can
+        reach it.  On the acyclic condensation we take longest paths.
+        """
+        # Tarjan-free SCC via iterative Kosaraju (graphs are small).
+        labels = [block.label for block in function.blocks]
+        succs = {label: function.block(label).successors() for label in labels}
+        preds: Dict[str, List[str]] = {label: [] for label in labels}
+        for label in labels:
+            for succ in succs[label]:
+                preds[succ].append(label)
+
+        order: List[str] = []
+        visited = set()
+        for start in labels:
+            if start in visited:
+                continue
+            stack = [(start, iter(succs[start]))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(succs[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        comp: Dict[str, int] = {}
+        comp_count = 0
+        for start in reversed(order):
+            if start in comp:
+                continue
+            stack = [start]
+            comp[start] = comp_count
+            while stack:
+                node = stack.pop()
+                for prev in preds[node]:
+                    if prev not in comp:
+                        comp[prev] = comp_count
+                        stack.append(prev)
+            comp_count += 1
+
+        # Component facts.
+        comp_members: Dict[int, List[str]] = {}
+        for label, c in comp.items():
+            comp_members.setdefault(c, []).append(label)
+        comp_weight = {
+            c: sum(self._weights[m] for m in members)
+            for c, members in comp_members.items()
+        }
+        comp_cyclic = {}
+        for c, members in comp_members.items():
+            cyclic = len(members) > 1 or any(
+                m in succs[m] for m in members
+            )
+            comp_cyclic[c] = cyclic
+
+        # Longest path over the condensation (reverse topological order
+        # of components = order of first finish in `order`).
+        entry_comp = comp[function.entry.label]
+        comp_succs: Dict[int, set] = {c: set() for c in comp_members}
+        for label in labels:
+            for succ in succs[label]:
+                if comp[label] != comp[succ]:
+                    comp_succs[comp[label]].add(comp[succ])
+
+        # comp ids were assigned in reverse-topological-of-condensation
+        # order by Kosaraju (first component found has no incoming edges
+        # from later ones); process in id order from the entry.
+        comp_max: Dict[int, Optional[int]] = {c: -1 for c in comp_members}
+        comp_max[entry_comp] = 0
+        changed = True
+        while changed:
+            changed = False
+            for c in comp_members:
+                if comp_max[c] == -1:
+                    continue
+                base = comp_max[c]
+                if base is UNBOUNDED or (comp_cyclic[c] and comp_weight[c] > 0):
+                    out: Optional[int] = UNBOUNDED
+                else:
+                    out = base + comp_weight[c]
+                for succ_c in comp_succs[c]:
+                    current = comp_max[succ_c]
+                    if out is UNBOUNDED:
+                        if current is not UNBOUNDED:
+                            comp_max[succ_c] = UNBOUNDED
+                            changed = True
+                    elif current is not UNBOUNDED and (
+                        current == -1 or out > current
+                    ):
+                        comp_max[succ_c] = out
+                        changed = True
+
+        result: Dict[str, Optional[int]] = {}
+        for label in labels:
+            c = comp[label]
+            base = comp_max[c]
+            if base == -1:
+                base = 0  # unreachable; harmless default
+            if base is UNBOUNDED or (comp_cyclic[c] and comp_weight[c] > 0):
+                result[label] = UNBOUNDED
+            else:
+                # Within-component slack: acyclic component == single
+                # block, so entering count is exact.
+                result[label] = base
+        return result
+
+    # -- per-access intervals --------------------------------------------------
+
+    def _barriers_before(self, access: Access) -> int:
+        block = self._accesses.function.block(access.block)
+        return sum(
+            1
+            for instr in block.instrs[: access.position]
+            if instr.op is Opcode.BARRIER
+        )
+
+    def _interval_of(self, access: Access) -> Tuple[int, Optional[int]]:
+        before = self._barriers_before(access)
+        lo = self._min_in[access.block]
+        if lo >= 1 << 59:
+            lo = 0
+        hi = self._max_in[access.block]
+        return (
+            lo + before,
+            UNBOUNDED if hi is UNBOUNDED else hi + before,
+        )
+
+    def definitely_ordered(self, a: Access, b: Access) -> bool:
+        """True iff every instance of ``a`` precedes every instance of ``b``."""
+        _lo_a, hi_a = self.intervals[a.index]
+        lo_b, _hi_b = self.intervals[b.index]
+        return hi_a is not UNBOUNDED and hi_a < lo_b
+
+    def ordered_pairs(self) -> List[Tuple[Access, Access]]:
+        """All interval-ordered access pairs (feeds the R relation)."""
+        result = []
+        for a in self._accesses:
+            hi_a = self.intervals[a.index][1]
+            if hi_a is UNBOUNDED:
+                continue
+            for b in self._accesses:
+                if a.index == b.index:
+                    continue
+                if self.intervals[b.index][0] > hi_a:
+                    result.append((a, b))
+        return result

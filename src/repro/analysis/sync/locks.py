@@ -1,0 +1,219 @@
+"""Lock guard analysis (§5.3).
+
+An access ``a`` is *guarded* by a lock object ``l`` when (paper's
+conditions):
+
+1. ``a`` is dominated by a ``lock l`` operation ``b1`` with no
+   intervening ``unlock l`` — we compute this with a must-held forward
+   dataflow (intersection confluence) at instruction granularity;
+2. ``a`` dominates an ``unlock l`` operation ``b2``;
+3. ``[b1, a]`` and ``[a, b2]`` are in the initial delay set ``D1``.
+
+Mutual exclusion across processors requires both critical sections to
+hold the *same lock object*, so a usable guard key must denote one
+object for every processor: a scalar lock, or a lock array element with
+constant indices.  ``L[MYPROC]``-style locks name per-processor objects
+and provide no cross-processor exclusion — they yield no guard keys.
+
+The payoff (used during delay-set computation): if ``a1`` and ``a2`` are
+guarded by the same lock, no *other* access guarded by that lock can
+appear in a back-path from ``a2`` to ``a1`` — the critical-section
+accesses of other processors cannot interleave between them.  This is
+what lets accesses *within* critical regions be overlapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.accesses import Access, AccessKind, AccessSet
+from repro.analysis.symbolic import SymExpr
+from repro.ir.dominators import DominatorTree
+from repro.ir.instructions import IndexMeta, Opcode
+
+#: A lock object key: (variable name, constant index tuple).
+GuardKey = Tuple[str, Tuple[int, ...]]
+
+
+def _constant_indices(meta: Optional[IndexMeta]) -> Optional[Tuple[int, ...]]:
+    """Constant index tuple, or None if any index is non-constant."""
+    if meta is None or not meta.exprs:
+        return ()
+    values: List[int] = []
+    for expr in meta.exprs:
+        if not isinstance(expr, SymExpr) or not expr.is_constant:
+            return None
+        values.append(expr.const)
+    return tuple(values)
+
+
+def guard_key_of(access: Access) -> Optional[GuardKey]:
+    """The cross-processor lock object named by a lock/unlock access."""
+    indices = _constant_indices(access.meta)
+    if indices is None:
+        return None
+    return (access.var, indices)
+
+
+class LockGuards:
+    """Guard information for every access of a function."""
+
+    def __init__(
+        self,
+        accesses: AccessSet,
+        dominators: DominatorTree,
+        d1: Set[Tuple[int, int]],
+    ):
+        self._accesses = accesses
+        self._dominators = dominators
+        self._d1 = d1
+        #: access index -> set of guard keys it is guarded by
+        self.guards: Dict[int, FrozenSet[GuardKey]] = {}
+        self._compute()
+
+    # -- must-held dataflow ----------------------------------------------------
+
+    def _held_after_block_transfer(
+        self, held: Set[GuardKey], instr
+    ) -> Set[GuardKey]:
+        if instr.op is Opcode.LOCK:
+            access = self._accesses.by_uid.get(instr.uid)
+            if access is not None:
+                key = guard_key_of(access)
+                if key is not None:
+                    held = held | {key}
+            return held
+        if instr.op is Opcode.UNLOCK:
+            access = self._accesses.by_uid.get(instr.uid)
+            key = guard_key_of(access) if access is not None else None
+            if key is not None:
+                return held - {key}
+            # Unknown unlock target: conservatively drop every key on
+            # the same variable.
+            var = instr.var
+            return {k for k in held if k[0] != var}
+        return held
+
+    def _compute(self) -> None:
+        function = self._accesses.function
+        all_keys: Set[GuardKey] = set()
+        for access in self._accesses:
+            if access.kind is AccessKind.LOCK:
+                key = guard_key_of(access)
+                if key is not None:
+                    all_keys.add(key)
+
+        # Block-level must-held (intersection) fixpoint.
+        universe = frozenset(all_keys)
+        block_in: Dict[str, FrozenSet[GuardKey]] = {
+            block.label: universe for block in function.blocks
+        }
+        block_in[function.entry.label] = frozenset()
+        preds = function.predecessors()
+        changed = True
+        while changed:
+            changed = False
+            for block in function.blocks:
+                if block.label == function.entry.label:
+                    in_set: FrozenSet[GuardKey] = frozenset()
+                else:
+                    in_candidates = [
+                        self._block_out(function, p, block_in[p])
+                        for p in preds[block.label]
+                    ]
+                    if in_candidates:
+                        in_set = in_candidates[0]
+                        for candidate in in_candidates[1:]:
+                            in_set &= candidate
+                    else:
+                        in_set = universe
+                if in_set != block_in[block.label]:
+                    block_in[block.label] = in_set
+                    changed = True
+
+        # Replay blocks to get the held set at each access, then apply
+        # the paper's conditions 2 and 3.
+        held_at: Dict[int, Set[GuardKey]] = {}
+        for block in function.blocks:
+            held: Set[GuardKey] = set(block_in[block.label])
+            for instr in block.instrs:
+                if instr.uid in self._accesses.by_uid:
+                    held_at[instr.uid] = set(held)
+                held = self._held_after_block_transfer(held, instr)
+
+        lock_ops = [
+            a for a in self._accesses if a.kind is AccessKind.LOCK
+        ]
+        unlock_ops = [
+            a for a in self._accesses if a.kind is AccessKind.UNLOCK
+        ]
+        for access in self._accesses:
+            candidate_keys = held_at.get(access.uid, set())
+            if access.kind in (AccessKind.LOCK, AccessKind.UNLOCK):
+                # The lock operations themselves are not "guarded".
+                self.guards[access.index] = frozenset()
+                continue
+            confirmed: Set[GuardKey] = set()
+            for key in candidate_keys:
+                if self._confirm_guard(access, key, lock_ops, unlock_ops):
+                    confirmed.add(key)
+            self.guards[access.index] = frozenset(confirmed)
+
+    def _block_out(
+        self, function, label: str, in_set: FrozenSet[GuardKey]
+    ) -> FrozenSet[GuardKey]:
+        held: Set[GuardKey] = set(in_set)
+        for instr in function.block(label).instrs:
+            held = self._held_after_block_transfer(held, instr)
+        return frozenset(held)
+
+    def _confirm_guard(
+        self,
+        access: Access,
+        key: GuardKey,
+        lock_ops: List[Access],
+        unlock_ops: List[Access],
+    ) -> bool:
+        """Conditions 2 and 3 of the paper's guard definition."""
+        b1_ok = any(
+            guard_key_of(b1) == key
+            and self._dominators.instr_dominates(b1.uid, access.uid)
+            and (b1.index, access.index) in self._d1
+            for b1 in lock_ops
+        )
+        if not b1_ok:
+            return False
+        return any(
+            guard_key_of(b2) == key
+            and self._dominators.instr_dominates(access.uid, b2.uid)
+            and (access.index, b2.index) in self._d1
+            for b2 in unlock_ops
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def common_guards(self, a: Access, b: Access) -> FrozenSet[GuardKey]:
+        return self.guards.get(a.index, frozenset()) & self.guards.get(
+            b.index, frozenset()
+        )
+
+    def exclusion_mask(self, a: Access, b: Access) -> int:
+        """Bitset of accesses to remove from back-path searches for the
+        delay candidate pair (a, b), per the §5.3 rule.
+
+        Every lock-guarded access is excluded — *including* ``a`` and
+        ``b`` themselves: a back-path intermediate is another
+        processor's instance, and other processors' instances of the
+        endpoint statements are just as mutually excluded as any other
+        guarded access.  (The endpoints of the path are not intermediates,
+        so excluding their indices never blocks the pair's own test.)
+        """
+        keys = self.common_guards(a, b)
+        if not keys:
+            return 0
+        mask = 0
+        for other in self._accesses:
+            if self.guards.get(other.index, frozenset()) & keys:
+                mask |= 1 << other.index
+        return mask

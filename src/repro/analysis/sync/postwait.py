@@ -1,0 +1,46 @@
+"""Post-wait matching (§5.1).
+
+A ``wait(f)`` blocks until the matching ``post(f)`` executes, creating a
+strict precedence between the post and the wait.  Statically we match a
+post access with a wait access when they name the same flag variable and
+their index expressions may denote the same element for some processor
+pair (the cross-processor collision test).
+
+Like the paper (which "presumes that synchronization constructs can be
+matched across processors" and backs the presumption with runtime
+checks), we treat a matching (post, wait) pair as a precedence edge.
+The paper's footnote 2 applies: posting twice on one event variable is
+illegal, and the runtime enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.accesses import Access, AccessKind, AccessSet
+from repro.analysis.conflicts import indices_may_collide
+
+
+def match_post_wait(accesses: AccessSet) -> List[Tuple[Access, Access]]:
+    """All (post, wait) pairs that may synchronize with each other.
+
+    The match is deliberately may-match: a spurious match only *adds*
+    precedence edges derived through the refinement, and every derived
+    edge is still anchored by real delay edges on both sides — this is
+    the same assumption the paper makes.
+    """
+    posts = [a for a in accesses if a.kind is AccessKind.POST]
+    waits = [a for a in accesses if a.kind is AccessKind.WAIT]
+    pairs: List[Tuple[Access, Access]] = []
+    for post in posts:
+        for wait in waits:
+            if post.var != wait.var:
+                continue
+            # A post on processor p matches a wait on processor q
+            # (p == q is also possible for scalar flags; use the most
+            # permissive test: same-processor OR cross-processor match).
+            if indices_may_collide(post, wait) or indices_may_collide(
+                post, wait, same_processor=True
+            ):
+                pairs.append((post, wait))
+    return pairs

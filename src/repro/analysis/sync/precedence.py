@@ -1,0 +1,152 @@
+"""The precedence relation ``R`` (§5.1).
+
+``R`` is a set of ordered access pairs [a1, a2] such that a1 is
+guaranteed to complete before a2 is initiated (Definition 4).  It is
+seeded with direct post→wait edges and barrier-phase orderings, merged
+with the initial sync-only delay set ``D1``, transitively closed, and
+then grown by the paper's dominator rule (§5.1 step 4):
+
+    if a1 dominates b1, b2 dominates a2,
+       [a1, b1] ∈ D1, [b2, a2] ∈ D1, and [b1, b2] ∈ R,
+    then [a1, a2] ∈ R.
+
+The domination requirements make the *dynamic instances* line up: when
+b1 executes, a1 has executed (and the delay edge makes it complete);
+when a2 executes, b2 has executed before it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.accesses import Access, AccessSet
+from repro.ir.dominators import DominatorTree
+
+
+class PrecedenceRelation:
+    """Bitset-backed ordered-pair relation over an access set."""
+
+    def __init__(self, accesses: AccessSet):
+        self._accesses = accesses
+        self._n = len(accesses)
+        self._rows: List[int] = [0] * self._n
+
+    # -- basic operations ---------------------------------------------------
+
+    def add(self, a: Access, b: Access) -> None:
+        if a.index != b.index:
+            self._rows[a.index] |= 1 << b.index
+
+    def add_pairs(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        for ai, bi in pairs:
+            if ai != bi:
+                self._rows[ai] |= 1 << bi
+
+    def has(self, a: Access, b: Access) -> bool:
+        return bool(self._rows[a.index] >> b.index & 1)
+
+    def row(self, a: Access) -> int:
+        return self._rows[a.index]
+
+    def successors_mask(self, index: int) -> int:
+        return self._rows[index]
+
+    def predecessors_mask(self, index: int) -> int:
+        mask = 0
+        bit = 1 << index
+        for i, row in enumerate(self._rows):
+            if row & bit:
+                mask |= 1 << i
+        return mask
+
+    def pair_count(self) -> int:
+        return sum(bin(row).count("1") for row in self._rows)
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        result = []
+        for i, row in enumerate(self._rows):
+            mask = row
+            while mask:
+                low = mask & -mask
+                result.append((i, low.bit_length() - 1))
+                mask ^= low
+        return result
+
+    # -- closure ------------------------------------------------------------
+
+    def transitive_close(self) -> None:
+        """In-place transitive closure (repeated row absorption)."""
+        changed = True
+        while changed:
+            changed = False
+            for i in range(self._n):
+                row = self._rows[i]
+                mask = row
+                new_row = row
+                while mask:
+                    low = mask & -mask
+                    j = low.bit_length() - 1
+                    mask ^= low
+                    new_row |= self._rows[j]
+                new_row &= ~(1 << i)  # keep irreflexive
+                if new_row != row:
+                    self._rows[i] = new_row
+                    changed = True
+
+    # -- the §5.1 dominator refinement ---------------------------------------
+
+    def refine_with_dominators(
+        self,
+        d1: Set[Tuple[int, int]],
+        dominators: DominatorTree,
+    ) -> int:
+        """Applies step 4 until fixpoint; returns number of edges added.
+
+        ``d1`` is the initial (sync-involving) delay set as
+        (u.index, v.index) pairs with u before v.
+        """
+        accesses = list(self._accesses)
+        n = self._n
+
+        # d1_succ_dom[a1] = mask of b1 with [a1,b1] in D1 and a1 dom b1.
+        # d1_pred_dom[a2] = mask of b2 with [b2,a2] in D1 and b2 dom a2.
+        d1_succ_dom = [0] * n
+        d1_pred_dom = [0] * n
+        for u_index, v_index in d1:
+            u = accesses[u_index]
+            v = accesses[v_index]
+            if dominators.instr_dominates(u.uid, v.uid):
+                # Usable both as [a1, b1] (a1 dominating) and, read as
+                # [b2, a2], for the predecessor table (b2 dominating).
+                d1_succ_dom[u_index] |= 1 << v_index
+                d1_pred_dom[v_index] |= 1 << u_index
+
+        added = 0
+        changed = True
+        while changed:
+            changed = False
+            for a1 in accesses:
+                b1_mask = d1_succ_dom[a1.index]
+                if not b1_mask:
+                    continue
+                # Union of R rows over all candidate b1.
+                reach = 0
+                mask = b1_mask
+                while mask:
+                    low = mask & -mask
+                    reach |= self._rows[low.bit_length() - 1]
+                    mask ^= low
+                if not reach:
+                    continue
+                for a2 in accesses:
+                    if a2.index == a1.index:
+                        continue
+                    if self._rows[a1.index] >> a2.index & 1:
+                        continue
+                    if reach & d1_pred_dom[a2.index]:
+                        self._rows[a1.index] |= 1 << a2.index
+                        added += 1
+                        changed = True
+            if changed:
+                self.transitive_close()
+        return added

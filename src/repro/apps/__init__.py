@@ -1,0 +1,41 @@
+"""The five application kernels of the paper's evaluation (§8).
+
+Each kernel is a MiniSplit source generator plus a reference model; see
+:mod:`repro.apps.base` for the shape and the substitution notes.
+"""
+
+from typing import Dict, List
+
+from repro.apps.base import App, Snapshot
+from repro.apps.cholesky import APP as CHOLESKY
+from repro.apps.em3d import APP as EM3D
+from repro.apps.epithelial import APP as EPITHELIAL
+from repro.apps.health import APP as HEALTH
+from repro.apps.ocean import APP as OCEAN
+
+#: The paper's Figure 12 order.
+ALL_APPS: List[App] = [OCEAN, EM3D, EPITHELIAL, CHOLESKY, HEALTH]
+
+APPS: Dict[str, App] = {app.name: app for app in ALL_APPS}
+
+
+def get_app(name: str) -> App:
+    try:
+        return APPS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPS))
+        raise KeyError(f"unknown app {name!r} (known: {known})") from None
+
+
+__all__ = [
+    "App",
+    "Snapshot",
+    "APPS",
+    "ALL_APPS",
+    "get_app",
+    "OCEAN",
+    "EM3D",
+    "EPITHELIAL",
+    "CHOLESKY",
+    "HEALTH",
+]

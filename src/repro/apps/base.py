@@ -1,0 +1,62 @@
+"""Common shape of the application kernels (§8 of the paper).
+
+Each kernel is a MiniSplit source generator parameterized by the
+processor count, together with a Python reference model used to check
+that every optimization level computes the same answer.  The paper's
+five applications and their synchronization idioms:
+
+=========== ==================== =========================================
+kernel      synchronization      substituted computation
+=========== ==================== =========================================
+ocean       barriers             2-D Jacobi-style stencil relaxation with
+                                 neighbor boundary-row exchange (the
+                                 SPLASH Ocean core is a stencil solver)
+em3d        barriers             bipartite E/H leapfrog over a ring of
+                                 blocks (Culler et al.'s EM3D structure)
+epithelial  barriers             grid diffusion + cell-aggregation proxy
+                                 for the Navier–Stokes/FFT step (same
+                                 gather/compute/barrier phase shape)
+cholesky    post/wait flags      column-oriented Cholesky factorization,
+                                 producer-consumer on column flags
+health      locks                hierarchical patient-queue simulation
+                                 with lock-guarded hospital counters
+=========== ==================== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+Snapshot = Dict[str, List[Union[int, float]]]
+
+
+@dataclass(frozen=True)
+class App:
+    """One application kernel."""
+
+    name: str
+    description: str
+    sync_style: str
+    #: procs -> MiniSplit source text
+    source: Callable[[int], str]
+    #: (snapshot, procs) -> None; raises AssertionError on mismatch
+    check: Optional[Callable[[Snapshot, int], None]] = None
+    #: processor counts the generated sizes divide evenly by
+    supported_procs: Sequence[int] = (1, 2, 4, 8, 16, 32)
+
+
+def require_supported(app: App, procs: int) -> None:
+    if procs not in app.supported_procs:
+        raise ValueError(
+            f"{app.name} supports procs in {tuple(app.supported_procs)}, "
+            f"got {procs}"
+        )
+
+
+def assert_close(actual: float, expected: float, what: str,
+                 tol: float = 1e-6) -> None:
+    if abs(actual - expected) > tol * max(1.0, abs(expected)):
+        raise AssertionError(
+            f"{what}: got {actual!r}, expected {expected!r}"
+        )

@@ -1,0 +1,123 @@
+"""EM3D: leapfrog electromagnetic propagation over a ring of blocks.
+
+EM3D (Culler et al.) alternates half-steps: electric-field nodes update
+from neighboring magnetic-field nodes and vice versa.  Our ring-of-
+blocks version keeps the structure that matters to the compiler: on
+each half-step every processor *gathers a whole neighbor block* of the
+other field (a burst of remote reads — the prime pipelining target),
+crosses a barrier, and updates its own block locally.
+
+The E-gather pulls from the right neighbor, the H-gather from the left,
+so the two half-steps exercise both `(MYPROC+1)%PROCS` and
+`(MYPROC+PROCS-1)%PROCS` index forms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.base import App, Snapshot, assert_close
+
+#: Nodes per field (divisible by every supported procs) and timesteps.
+NODES = 64
+STEPS = 2
+
+
+def source(procs: int) -> str:
+    block = NODES // procs
+    return f"""
+// EM3D: bipartite E/H leapfrog, {NODES} nodes per field, {STEPS} steps.
+shared double E[{NODES}];
+shared double H[{NODES}];
+
+void main() {{
+  int t; int i;
+  int base = MYPROC * {block};
+  int rbase = ((MYPROC + 1) % PROCS) * {block};
+  int lbase = ((MYPROC + PROCS - 1) % PROCS) * {block};
+  double hbuf[{block}];
+  double ebuf[{block}];
+  double hn;
+  double en;
+
+  for (i = 0; i < {block}; i = i + 1) {{
+    E[base + i] = 0.01 * (base + i);
+    H[base + i] = 1.0 - 0.02 * (base + i);
+  }}
+  barrier();
+
+  for (t = 0; t < {STEPS}; t = t + 1) {{
+    // Half-step 1: E from the right neighbor's H block.
+    for (i = 0; i < {block}; i = i + 1) {{
+      hbuf[i] = H[rbase + i];
+    }}
+    barrier();
+    for (i = 0; i < {block}; i = i + 1) {{
+      if (i == {block} - 1) {{ hn = hbuf[0]; }}
+      else {{ hn = hbuf[i + 1]; }}
+      E[base + i] = 0.5 * E[base + i] + 0.3 * hbuf[i] + 0.2 * hn;
+    }}
+    barrier();
+
+    // Half-step 2: H from the left neighbor's E block.
+    for (i = 0; i < {block}; i = i + 1) {{
+      ebuf[i] = E[lbase + i];
+    }}
+    barrier();
+    for (i = 0; i < {block}; i = i + 1) {{
+      if (i == 0) {{ en = ebuf[{block} - 1]; }}
+      else {{ en = ebuf[i - 1]; }}
+      H[base + i] = 0.5 * H[base + i] + 0.25 * ebuf[i] + 0.25 * en;
+    }}
+    barrier();
+  }}
+}}
+"""
+
+
+def reference(procs: int) -> Tuple[List[float], List[float]]:
+    """E and H after STEPS leapfrog steps (pure Python model)."""
+    block = NODES // procs
+    e = [0.01 * i for i in range(NODES)]
+    h = [1.0 - 0.02 * i for i in range(NODES)]
+    for _t in range(STEPS):
+        new_e = list(e)
+        for p in range(procs):
+            base = p * block
+            rbase = ((p + 1) % procs) * block
+            hbuf = [h[rbase + i] for i in range(block)]
+            for i in range(block):
+                hn = hbuf[(i + 1) % block]
+                new_e[base + i] = (
+                    0.5 * e[base + i] + 0.3 * hbuf[i] + 0.2 * hn
+                )
+        e = new_e
+        new_h = list(h)
+        for p in range(procs):
+            base = p * block
+            lbase = ((p + procs - 1) % procs) * block
+            ebuf = [e[lbase + i] for i in range(block)]
+            for i in range(block):
+                en = ebuf[(i - 1) % block]
+                new_h[base + i] = (
+                    0.5 * h[base + i] + 0.25 * ebuf[i] + 0.25 * en
+                )
+        h = new_h
+    return e, h
+
+
+def check(snapshot: Snapshot, procs: int) -> None:
+    expected_e, expected_h = reference(procs)
+    for i in range(NODES):
+        assert_close(snapshot["E"][i], expected_e[i], f"E[{i}]")
+        assert_close(snapshot["H"][i], expected_h[i], f"H[{i}]")
+
+
+APP = App(
+    name="em3d",
+    description="bipartite E/H leapfrog over a ring of blocks",
+    sync_style="barriers",
+    source=source,
+    check=check,
+    supported_procs=(1, 2, 4, 8, 16, 32),
+)

@@ -1,0 +1,126 @@
+"""Epithelial cell simulation: phase-structured aggregation proxy.
+
+The paper's epithelial application simulates cell aggregation (each
+step a Navier–Stokes solver computes fluid flow over a grid).  We keep
+the compiler-visible structure — per-step *gather / barrier / local
+compute / scatter / barrier / absorb* phases over a distributed field —
+and substitute a deterministic diffusion + contribution-scatter rule
+for the solver (DESIGN.md records the substitution).  This kernel is
+the one swept across processor counts for the paper's Figure 13.
+
+Per step each processor:
+
+1. gathers its right neighbor's concentration block (remote reads);
+2. [barrier] computes new local concentrations with a small flop loop
+   (the "solver");
+3. scatters a contribution into the right neighbor's inbox (remote
+   writes — converted to one-way stores at O3);
+4. [barrier] absorbs its inbox and writes back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, Snapshot, assert_close
+
+#: Field size, timesteps and solver flop count (sweep-friendly sizes).
+CELLS = 64
+STEPS = 2
+FLOPS = 4
+
+
+def source(procs: int) -> str:
+    block = CELLS // procs
+    return f"""
+// Epithelial: diffusion + aggregation proxy, {CELLS} cells, {STEPS} steps.
+shared double C[{CELLS}];
+shared double X[{CELLS}];
+
+void main() {{
+  int t; int i; int r;
+  int base = MYPROC * {block};
+  int rbase = ((MYPROC + 1) % PROCS) * {block};
+  double buf[{block}];
+  double newc[{block}];
+  double right;
+  double acc;
+
+  for (i = 0; i < {block}; i = i + 1) {{
+    C[base + i] = 1.0 + 0.05 * (base + i);
+    X[base + i] = 0.0;
+  }}
+  barrier();
+
+  for (t = 0; t < {STEPS}; t = t + 1) {{
+    // Gather the right neighbor's block.
+    for (i = 0; i < {block}; i = i + 1) {{
+      buf[i] = C[rbase + i];
+    }}
+    barrier();
+
+    // "Solver": diffusion plus a small fixed flop loop per cell.
+    for (i = 0; i < {block}; i = i + 1) {{
+      if (i == {block} - 1) {{ right = buf[0]; }}
+      else {{ right = C[base + i + 1]; }}
+      acc = 0.5 * C[base + i] + 0.3 * right + 0.2 * buf[i];
+      for (r = 0; r < {FLOPS}; r = r + 1) {{
+        acc = acc * 0.9 + 0.01;
+      }}
+      newc[i] = acc;
+    }}
+
+    // Scatter a contribution into the right neighbor's inbox.
+    for (i = 0; i < {block}; i = i + 1) {{
+      X[rbase + i] = newc[i] * 0.125;
+    }}
+    barrier();
+
+    // Absorb the inbox and write back.
+    for (i = 0; i < {block}; i = i + 1) {{
+      C[base + i] = newc[i] * 0.875 + X[base + i];
+      X[base + i] = 0.0;
+    }}
+    barrier();
+  }}
+}}
+"""
+
+
+def reference(procs: int) -> List[float]:
+    block = CELLS // procs
+    field = [1.0 + 0.05 * i for i in range(CELLS)]
+    for _t in range(STEPS):
+        new = [0.0] * CELLS
+        inbox = [0.0] * CELLS
+        for p in range(procs):
+            base = p * block
+            rbase = ((p + 1) % procs) * block
+            buf = [field[rbase + i] for i in range(block)]
+            for i in range(block):
+                right = buf[0] if i == block - 1 else field[base + i + 1]
+                acc = 0.5 * field[base + i] + 0.3 * right + 0.2 * buf[i]
+                for _r in range(FLOPS):
+                    acc = acc * 0.9 + 0.01
+                new[base + i] = acc
+                inbox[rbase + i] = acc * 0.125
+        field = [
+            new[i] * 0.875 + inbox[i] for i in range(CELLS)
+        ]
+    return field
+
+
+def check(snapshot: Snapshot, procs: int) -> None:
+    expected = reference(procs)
+    for i in range(CELLS):
+        assert_close(snapshot["C"][i], expected[i], f"C[{i}]")
+
+
+APP = App(
+    name="epithelial",
+    description="cell-aggregation proxy with gather/solve/scatter phases",
+    sync_style="barriers",
+    source=source,
+    check=check,
+    supported_procs=(1, 2, 4, 8, 16, 32),
+)

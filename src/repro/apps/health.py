@@ -1,0 +1,134 @@
+"""Health: lock-guarded hierarchical service simulation.
+
+The Presto Health benchmark simulates the Colombian health-care
+system's hierarchical dispensing; exclusive access to the shared
+hospital structures is lock-based (§8).  Our variant keeps the
+compiler-relevant shape: every processor is a village generating
+patients; admitting a patient means entering a hospital's critical
+section (scalar lock), reading the shared queue count, appending the
+patient's severity to the shared queue, and bumping the count.
+
+The §5.3 payoff: inside a critical section the queue write and the
+count write may overlap (lock-guarded peers cannot appear in a
+back-path between them), whereas plain Shasha–Snir serializes every
+access in the program against the lock traffic.
+
+The queue order is timing-dependent (it depends on lock arrival
+order), so the checker validates order-insensitive facts: final counts
+and severity sums per hospital.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, Snapshot, assert_close
+
+#: Patients generated per village (processor).
+PATIENTS = 4
+#: Queue capacity: enough for every patient in one hospital.
+MAX_PROCS = 32
+QUEUE_CAP = MAX_PROCS * PATIENTS
+
+
+def source(procs: int) -> str:
+    return f"""
+// Health: lock-guarded hospital queues, {PATIENTS} patients/village.
+shared lock_t lock0;
+shared lock_t lock1;
+shared int count0;
+shared int count1;
+shared double queue0[{QUEUE_CAP}];
+shared double queue1[{QUEUE_CAP}];
+shared double totals[2];
+
+void main() {{
+  int v; int c; int i;
+  double sev;
+  double sum;
+
+  for (v = 0; v < {PATIENTS}; v = v + 1) {{
+    sev = 1.0 * MYPROC + 0.1 * v;
+    if ((MYPROC + v) % 2 == 0) {{
+      lock(lock0);
+      c = count0;
+      queue0[c] = sev;
+      count0 = c + 1;
+      unlock(lock0);
+    }} else {{
+      lock(lock1);
+      c = count1;
+      queue1[c] = sev;
+      count1 = c + 1;
+      unlock(lock1);
+    }}
+  }}
+  barrier();
+
+  // Hospital 0's and 1's totals, computed by the first two villages.
+  if (MYPROC == 0) {{
+    sum = 0.0;
+    for (i = 0; i < count0; i = i + 1) {{ sum = sum + queue0[i]; }}
+    totals[0] = sum;
+  }}
+  if (MYPROC == PROCS - 1) {{
+    sum = 0.0;
+    for (i = 0; i < count1; i = i + 1) {{ sum = sum + queue1[i]; }}
+    totals[1] = sum;
+  }}
+  barrier();
+}}
+"""
+
+
+def reference(procs: int):
+    """Expected (count, severity sum) per hospital."""
+    counts = [0, 0]
+    sums = [0.0, 0.0]
+    for proc in range(procs):
+        for v in range(PATIENTS):
+            hospital = (proc + v) % 2
+            counts[hospital] += 1
+            sums[hospital] += 1.0 * proc + 0.1 * v
+    return counts, sums
+
+
+def check(snapshot: Snapshot, procs: int) -> None:
+    counts, sums = reference(procs)
+    assert snapshot["count0"][0] == counts[0], (
+        f"count0: {snapshot['count0'][0]} != {counts[0]}"
+    )
+    assert snapshot["count1"][0] == counts[1], (
+        f"count1: {snapshot['count1'][0]} != {counts[1]}"
+    )
+    # The queue order is timing-dependent; the multiset is not.
+    q0 = sorted(snapshot["queue0"][: counts[0]])
+    q1 = sorted(snapshot["queue1"][: counts[1]])
+    expected0 = sorted(
+        1.0 * p + 0.1 * v
+        for p in range(procs)
+        for v in range(PATIENTS)
+        if (p + v) % 2 == 0
+    )
+    expected1 = sorted(
+        1.0 * p + 0.1 * v
+        for p in range(procs)
+        for v in range(PATIENTS)
+        if (p + v) % 2 == 1
+    )
+    for got, want in zip(q0, expected0):
+        assert_close(got, want, "queue0 entry")
+    for got, want in zip(q1, expected1):
+        assert_close(got, want, "queue1 entry")
+    assert_close(snapshot["totals"][0], sums[0], "totals[0]")
+    assert_close(snapshot["totals"][1], sums[1], "totals[1]")
+
+
+APP = App(
+    name="health",
+    description="lock-guarded hierarchical patient-queue simulation",
+    sync_style="locks",
+    source=source,
+    check=check,
+    supported_procs=(2, 4, 8, 16, 32),
+)

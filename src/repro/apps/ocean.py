@@ -1,0 +1,131 @@
+"""Ocean: barrier-synchronized stencil relaxation (SPLASH Ocean core).
+
+The SPLASH Ocean benchmark studies eddy/boundary currents on a grid;
+its core is a stencil computation over a row-distributed 2-D grid
+(§8 of the paper).  Each step a processor
+
+1. gathers its neighbors' boundary rows (remote reads — the pipelining
+   target),
+2. crosses a barrier (the gather must not race the previous step's
+   writes),
+3. relaxes its own rows in place with a 5-point stencil,
+4. crosses a barrier again.
+
+All writes are processor-local (block row distribution), so the win
+here is pure read pipelining.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import App, Snapshot, assert_close
+
+#: Grid dimensions and step count (divisible by every supported procs).
+ROWS = 32
+COLS = 8
+STEPS = 3
+
+
+def source(procs: int) -> str:
+    rows_per = ROWS // procs
+    return f"""
+// Ocean: 5-point stencil relaxation, {ROWS}x{COLS} grid, {STEPS} steps.
+shared double G[{ROWS}][{COLS}];
+
+void main() {{
+  int t; int i; int j;
+  int base = MYPROC * {rows_per};
+  double up[{COLS}];
+  double down[{COLS}];
+  double newv[{rows_per}][{COLS}];
+  double a; double b; double c; double d;
+
+  // Initialize my row block.
+  for (i = 0; i < {rows_per}; i = i + 1) {{
+    for (j = 0; j < {COLS}; j = j + 1) {{
+      G[base + i][j] = 1.0 * (base + i) + 0.1 * j;
+    }}
+  }}
+  barrier();
+
+  for (t = 0; t < {STEPS}; t = t + 1) {{
+    // Gather boundary rows from the neighboring processors.
+    if (MYPROC > 0) {{
+      for (j = 0; j < {COLS}; j = j + 1) {{ up[j] = G[base - 1][j]; }}
+    }} else {{
+      for (j = 0; j < {COLS}; j = j + 1) {{ up[j] = 0.0; }}
+    }}
+    if (MYPROC < PROCS - 1) {{
+      for (j = 0; j < {COLS}; j = j + 1) {{
+        down[j] = G[base + {rows_per}][j];
+      }}
+    }} else {{
+      for (j = 0; j < {COLS}; j = j + 1) {{ down[j] = 0.0; }}
+    }}
+    barrier();
+
+    // 5-point relaxation into a private buffer, then write back.
+    for (i = 0; i < {rows_per}; i = i + 1) {{
+      for (j = 0; j < {COLS}; j = j + 1) {{
+        if (i == 0) {{ a = up[j]; }}
+        else {{ a = G[base + i - 1][j]; }}
+        if (i == {rows_per} - 1) {{ b = down[j]; }}
+        else {{ b = G[base + i + 1][j]; }}
+        if (j == 0) {{ c = 0.0; }} else {{ c = G[base + i][j - 1]; }}
+        if (j == {COLS} - 1) {{ d = 0.0; }}
+        else {{ d = G[base + i][j + 1]; }}
+        newv[i][j] = 0.25 * (a + b + c + d);
+      }}
+    }}
+    for (i = 0; i < {rows_per}; i = i + 1) {{
+      for (j = 0; j < {COLS}; j = j + 1) {{
+        G[base + i][j] = newv[i][j];
+      }}
+    }}
+    barrier();
+  }}
+}}
+"""
+
+
+def reference() -> List[List[float]]:
+    """The grid after STEPS relaxations (pure Python reference model)."""
+    grid = [
+        [float(r) + 0.1 * c for c in range(COLS)] for r in range(ROWS)
+    ]
+    for _step in range(STEPS):
+        def at(r: int, c: int) -> float:
+            if 0 <= r < ROWS and 0 <= c < COLS:
+                return grid[r][c]
+            return 0.0
+
+        grid = [
+            [
+                0.25 * (at(r - 1, c) + at(r + 1, c) + at(r, c - 1)
+                        + at(r, c + 1))
+                for c in range(COLS)
+            ]
+            for r in range(ROWS)
+        ]
+    return grid
+
+
+def check(snapshot: Snapshot, procs: int) -> None:
+    expected = reference()
+    actual = snapshot["G"]
+    for r in range(ROWS):
+        for c in range(COLS):
+            assert_close(
+                actual[r * COLS + c], expected[r][c], f"G[{r}][{c}]"
+            )
+
+
+APP = App(
+    name="ocean",
+    description="barrier-synchronized 5-point stencil relaxation",
+    sync_style="barriers",
+    source=source,
+    check=check,
+    supported_procs=(1, 2, 4, 8, 16, 32),
+)

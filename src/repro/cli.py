@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+::
+
+    repro analyze program.ms [--level sas|sync]
+    repro compile program.ms [--opt O0..O4] [--emit]
+    repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
+    repro bench-app ocean [--procs 8] [--machine cm5]
+
+``repro`` is also usable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import OptLevel, analyze_source, compile_source
+from repro.analysis.delays import AnalysisLevel
+from repro.runtime.machine import MACHINES, get_machine
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", help="MiniSplit source file")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    level = (
+        AnalysisLevel.SAS if args.level == "sas" else AnalysisLevel.SYNC
+    )
+    result = analyze_source(_read_source(args.source), level,
+                            filename=args.source)
+    stats = result.stats
+    print(f"analysis level:      {result.level.value}")
+    print(f"shared accesses:     {stats.num_accesses} "
+          f"({stats.num_sync_accesses} synchronization)")
+    print(f"conflict pairs:      {stats.conflict_pairs}")
+    print(f"precedence edges:    {stats.precedence_size}")
+    print(f"initial delays (D1): {stats.d1_size}")
+    print(f"delay set size:      {stats.delay_size}")
+    if args.report:
+        from repro.analysis.report import render_report
+
+        print()
+        print(render_report(result, witnesses=args.witnesses))
+    elif args.edges:
+        print("delay edges:")
+        for a, b in result.delay_edges():
+            print(f"  {a}  ->  {b}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = compile_source(
+        _read_source(args.source), OptLevel(args.opt), filename=args.source
+    )
+    report = program.report
+    print(f"opt level:          {program.opt_level.value}")
+    print(f"reads split-phased: {report.converted_reads}")
+    print(f"writes split-phased:{report.converted_writes}")
+    print(f"gets fused:         {report.gets_fused}")
+    print(f"gets hoisted:       {report.gets_hoisted}")
+    print(f"sync placements:    {report.sync_moves}")
+    print(f"puts -> stores:     {report.one_way_conversions}")
+    print(f"gets eliminated:    {report.gets_eliminated}")
+    print(f"puts eliminated:    {report.puts_eliminated}")
+    print(f"sync counters:      {report.counters_after} "
+          f"(from {report.counters_before})")
+    if args.emit:
+        print()
+        print(program.splitc() if args.splitc else program.pretty())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = compile_source(
+        _read_source(args.source), OptLevel(args.opt), filename=args.source
+    )
+    machine = get_machine(args.machine)
+    result = program.run(args.procs, machine, seed=args.seed)
+    print(f"machine:     {machine.name} ({args.procs} processors)")
+    print(f"cycles:      {result.cycles}")
+    print(f"instructions:{result.instructions}")
+    print(f"messages:    {result.total_messages}")
+    if args.dump:
+        for name, values in sorted(result.snapshot().items()):
+            shown = ", ".join(f"{v:g}" for v in values[: args.dump])
+            suffix = ", ..." if len(values) > args.dump else ""
+            print(f"  {name} = [{shown}{suffix}]")
+    return 0
+
+
+def _cmd_bench_app(args: argparse.Namespace) -> int:
+    from repro.apps import get_app
+
+    app = get_app(args.app)
+    machine = get_machine(args.machine)
+    source = app.source(args.procs)
+    print(f"{app.name}: {app.description}")
+    for level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
+        program = compile_source(source, level)
+        result = program.run(args.procs, machine, seed=args.seed)
+        print(
+            f"  {level.value}: {result.cycles} cycles, "
+            f"{result.total_messages} messages"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimizing Parallel Programs with Explicit "
+            "Synchronization' (PLDI 1995)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="run delay-set analysis and print statistics"
+    )
+    _add_common(analyze)
+    analyze.add_argument("--level", choices=["sas", "sync"], default="sync")
+    analyze.add_argument(
+        "--edges", action="store_true", help="list every delay edge"
+    )
+    analyze.add_argument(
+        "--report", action="store_true",
+        help="print the full grouped analysis report",
+    )
+    analyze.add_argument(
+        "--witnesses", action="store_true",
+        help="with --report: show the violation cycle each delay "
+             "prevents",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    compile_cmd = subparsers.add_parser(
+        "compile", help="compile and report the optimizations applied"
+    )
+    _add_common(compile_cmd)
+    compile_cmd.add_argument(
+        "--opt", choices=[lvl.value for lvl in OptLevel], default="O3"
+    )
+    compile_cmd.add_argument(
+        "--emit", action="store_true", help="print the optimized IR"
+    )
+    compile_cmd.add_argument(
+        "--splitc", action="store_true",
+        help="with --emit: print Split-C-style surface syntax instead",
+    )
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    run = subparsers.add_parser(
+        "run", help="compile and simulate on a machine model"
+    )
+    _add_common(run)
+    run.add_argument(
+        "--opt", choices=[lvl.value for lvl in OptLevel], default="O3"
+    )
+    run.add_argument("--procs", type=int, default=8)
+    run.add_argument(
+        "--machine", choices=sorted(MACHINES), default="cm5"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--dump", type=int, default=0, metavar="N",
+        help="print the first N elements of each shared variable",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    bench = subparsers.add_parser(
+        "bench-app", help="run one application kernel at several levels"
+    )
+    bench.add_argument("app")
+    bench.add_argument("--procs", type=int, default=8)
+    bench.add_argument(
+        "--machine", choices=sorted(MACHINES), default="cm5"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench_app)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

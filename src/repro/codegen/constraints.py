@@ -1,0 +1,96 @@
+"""Code-motion legality constraints shared by the codegen passes.
+
+A ``sync_ctr`` for access ``o`` may move past instruction ``a`` unless:
+
+* ``a`` is a shared access or synchronization operation and the delay
+  set orders them, ``[o, a] ∈ D`` — the fundamental §6 rule 2(a): ``a``
+  must not be *issued* before ``o`` completes;
+* ``a`` has a local dependence on ``o`` (same processor, possibly the
+  same location, at least one write) — program order through memory
+  must hold regardless of the delay set;
+* ``o`` is a ``get`` and ``a`` reads or writes its destination register
+  — the fetched value must land before uses, and must not clobber a
+  later redefinition;
+* ``a`` is a call or return — function boundaries are scheduling
+  barriers in this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.delays import AnalysisResult
+from repro.ir.instructions import Instr, Opcode, Temp
+
+
+@dataclass
+class MotionConstraints:
+    """Wraps an analysis result with the pass-level legality queries."""
+
+    analysis: AnalysisResult
+
+    def _ordered(self, earlier_uid: int, later_uid: int) -> bool:
+        if (earlier_uid, later_uid) in self.analysis.delay_uid_pairs:
+            return True
+        return (earlier_uid, later_uid) in self.analysis.local_dep_uid_pairs
+
+    def sync_blocked_by(self, origin: Instr, other: Instr) -> bool:
+        """Must the sync for ``origin`` stay before ``other``?
+
+        Note this checks the *delay set* only, not same-processor
+        local dependences: initiations are never reordered by the
+        codegen, and the runtime network delivers point-to-point
+        traffic in order, so a processor's accesses to one location
+        are applied in program order without any completion wait
+        (Split-C's CM-5 implementation had the same per-destination
+        ordering).  Passes that move *initiations* (the reuse pass)
+        must — and do — still respect local dependences via
+        :meth:`hoist_blocked_by`.
+        """
+        op = other.op
+        if op in (Opcode.CALL, Opcode.RET):
+            return True
+        if other.is_shared_access or other.is_sync:
+            if (origin.uid, other.uid) in self.analysis.delay_uid_pairs:
+                return True
+        if origin.op in (Opcode.GET, Opcode.READ_SHARED):
+            dest = origin.dest
+            if dest is not None:
+                if any(temp.name == dest.name for temp in other.used_temps()):
+                    return True
+                defined = other.defined_temp()
+                if defined is not None and defined.name == dest.name:
+                    return True
+            if origin.local_array is not None and other.op in (
+                Opcode.LOAD_LOCAL,
+                Opcode.STORE_LOCAL,
+            ):
+                # Fused get: the landing pad is a local array element;
+                # any touch of that array (whole-array granularity) must
+                # wait for the fetch.
+                if other.var == origin.local_array:
+                    return True
+        return False
+
+    def hoist_blocked_by(self, moving: Instr, other: Instr) -> bool:
+        """May access ``moving`` not be hoisted above ``other``?
+
+        Used by the reuse pass when moving a second ``get`` backwards:
+        the get must not issue before ``other`` completes (delay edge
+        ``[other, moving]``), must respect local dependences, and its
+        operands must not be defined by ``other``.
+        """
+        if other.op in (Opcode.CALL, Opcode.RET):
+            return True
+        if other.is_shared_access or other.is_sync:
+            if self._ordered(other.uid, moving.uid):
+                return True
+        defined = other.defined_temp()
+        if defined is not None:
+            if any(temp.name == defined.name for temp in moving.used_temps()):
+                return True
+            dest = moving.dest
+            if dest is not None and dest.name == defined.name:
+                return True
+        return False

@@ -1,0 +1,157 @@
+"""Split-C-style emission of optimized IR.
+
+The paper's prototype is a *source-to-source* transformer: it consumes
+the blocking-access source language and produces Split-C with explicit
+``get_ctr``/``put_ctr``/``store``/``sync_ctr`` operations.  This module
+renders our optimized IR in that surface syntax, so the effect of every
+pass is readable — it is what ``repro compile --emit --splitc`` prints
+and what the codegen golden tests check.
+
+The output is pseudo-Split-C: gotos stand in for the reconstructed
+control flow (a research compiler's dump, not a compilable artifact).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import Function, Module
+from repro.ir.instructions import (
+    BinOpKind,
+    Const,
+    Instr,
+    Opcode,
+    Operand,
+)
+
+
+def _operand(op: Operand) -> str:
+    if isinstance(op, Const):
+        return str(op.value)
+    return op.name.replace(".", "_")
+
+
+def _element(instr: Instr) -> str:
+    indices = "".join(f"[{_operand(i)}]" for i in instr.indices)
+    return f"{instr.var}{indices}"
+
+
+def _local_element(instr: Instr) -> str:
+    indices = "".join(f"[{_operand(i)}]" for i in instr.local_indices)
+    return f"{instr.local_array.split('.')[0]}{indices}"
+
+
+def emit_instr(instr: Instr) -> str:
+    """One instruction in Split-C-flavored syntax."""
+    op = instr.op
+    if op is Opcode.CONST:
+        return f"{_operand(instr.dest)} = {instr.value};"
+    if op is Opcode.MOVE:
+        return f"{_operand(instr.dest)} = {_operand(instr.src)};"
+    if op is Opcode.BINOP:
+        return (
+            f"{_operand(instr.dest)} = {_operand(instr.lhs)} "
+            f"{instr.binop.value} {_operand(instr.rhs)};"
+        )
+    if op is Opcode.UNOP:
+        return (
+            f"{_operand(instr.dest)} = "
+            f"{instr.unop.value}{_operand(instr.src)};"
+        )
+    if op is Opcode.INTRINSIC:
+        args = ", ".join(_operand(a) for a in instr.args)
+        return f"{_operand(instr.dest)} = {instr.intrinsic}({args});"
+    if op is Opcode.LOAD_LOCAL:
+        indices = "".join(f"[{_operand(i)}]" for i in instr.indices)
+        return (
+            f"{_operand(instr.dest)} = "
+            f"{instr.var.split('.')[0]}{indices};"
+        )
+    if op is Opcode.STORE_LOCAL:
+        indices = "".join(f"[{_operand(i)}]" for i in instr.indices)
+        return (
+            f"{instr.var.split('.')[0]}{indices} = "
+            f"{_operand(instr.src)};"
+        )
+    if op is Opcode.READ_SHARED:
+        return f"{_operand(instr.dest)} = {_element(instr)};  /* blocking */"
+    if op is Opcode.WRITE_SHARED:
+        return f"{_element(instr)} = {_operand(instr.src)};  /* blocking */"
+    if op is Opcode.GET:
+        dest = (
+            f"&{_local_element(instr)}"
+            if instr.local_array is not None
+            else f"&{_operand(instr.dest)}"
+        )
+        return (
+            f"get_ctr({dest}, &{_element(instr)}, ctr{instr.counter});"
+        )
+    if op is Opcode.PUT:
+        return (
+            f"put_ctr(&{_element(instr)}, {_operand(instr.src)}, "
+            f"ctr{instr.counter});"
+        )
+    if op is Opcode.STORE:
+        return f"store(&{_element(instr)}, {_operand(instr.src)});"
+    if op is Opcode.SYNC_CTR:
+        return f"sync_ctr(ctr{instr.counter});"
+    if op is Opcode.STORE_SYNC:
+        return "all_store_sync();"
+    if op is Opcode.POST:
+        return f"post({_element(instr)});"
+    if op is Opcode.WAIT:
+        return f"wait({_element(instr)});"
+    if op is Opcode.BARRIER:
+        return "barrier();"
+    if op is Opcode.LOCK:
+        return f"lock({_element(instr)});"
+    if op is Opcode.UNLOCK:
+        return f"unlock({_element(instr)});"
+    if op is Opcode.JUMP:
+        return f"goto {instr.target};"
+    if op is Opcode.BRANCH:
+        return (
+            f"if ({_operand(instr.cond)}) goto {instr.true_target}; "
+            f"else goto {instr.false_target};"
+        )
+    if op is Opcode.CALL:
+        args = ", ".join(_operand(a) for a in instr.args)
+        prefix = (
+            f"{_operand(instr.dest)} = " if instr.dest is not None else ""
+        )
+        return f"{prefix}{instr.callee}({args});"
+    if op is Opcode.RET:
+        if instr.src is not None:
+            return f"return {_operand(instr.src)};"
+        return "return;"
+    raise ValueError(f"cannot emit {op}")  # pragma: no cover
+
+
+def emit_function(function: Function) -> List[str]:
+    lines = [f"void {function.name}() {{"]
+    for array in function.local_arrays.values():
+        dims = "".join(f"[{d}]" for d in array.dims)
+        lines.append(f"  {array.kind.value} {array.name.split('.')[0]}"
+                     f"{dims};")
+    for block in function.blocks:
+        lines.append(f" {block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {emit_instr(instr)}")
+    lines.append("}")
+    return lines
+
+
+def emit_module(module: Module) -> str:
+    """The whole optimized program in Split-C-flavored syntax."""
+    lines: List[str] = []
+    for var in module.shared_vars.values():
+        dims = "".join(f"[{d}]" for d in var.dims)
+        lines.append(
+            f"shared {var.kind.value} {var.name}{dims};"
+            f"  /* dist({var.distribution.value}) */"
+        )
+    lines.append("")
+    for function in module.functions.values():
+        lines.extend(emit_function(function))
+        lines.append("")
+    return "\n".join(lines)

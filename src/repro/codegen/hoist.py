@@ -1,0 +1,76 @@
+"""Initiation hoisting (§6): move ``get``s backwards (prefetch).
+
+"To improve communication overlap, puts and gets are moved backwards in
+the program execution and syncs are moved forward."  Sync placement
+(:mod:`repro.codegen.syncmotion`) covers the forward half; this pass
+moves ``get`` initiations *up* within their basic block, past any
+instruction that
+
+* carries no delay edge ordering it before the get,
+* has no local (same-processor, possibly-same-location) dependence on
+  it — hoisting changes issue order, which is what the point-to-point
+  FIFO ordering argument relies on,
+* does not define a temp the get uses (index operands), and
+* does not touch the get's landing pad (its destination temp or, for a
+  fused get, its local landing array).
+
+Puts are not hoisted: a put's *value* operand usually comes from the
+instruction immediately above it, so the profitable motion for writes is
+the sync side, which the placement pass already maximizes.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.constraints import MotionConstraints
+from repro.ir.cfg import Function
+from repro.ir.instructions import Instr, Opcode
+
+
+def _blocks_hoist(constraints: MotionConstraints, moving: Instr,
+                  other: Instr) -> bool:
+    if constraints.hoist_blocked_by(moving, other):
+        return True
+    # Landing-pad hazards the generic check does not know about.
+    if moving.local_array is not None:
+        if other.op in (Opcode.LOAD_LOCAL, Opcode.STORE_LOCAL) and (
+            other.var == moving.local_array
+        ):
+            return True
+        if other.op is Opcode.GET and (
+            other.local_array == moving.local_array
+        ):
+            return True
+    if moving.dest is not None:
+        for temp in other.used_temps():
+            if temp.name == moving.dest.name:
+                return True  # `other` still needs the previous value
+    # Syncs are transparent: their positions are recomputed by the
+    # placement pass after hoisting.
+    return False
+
+
+def hoist_gets(function: Function, constraints: MotionConstraints) -> int:
+    """Moves get initiations up within blocks; returns positions moved.
+
+    Run after split-phase conversion and fusion but *before* sync
+    placement (placement works off the final initiation positions).
+    """
+    moved = 0
+    for block in function.blocks:
+        # Left-to-right so earlier gets settle before later ones hoist.
+        for index in range(len(block.instrs)):
+            instr = block.instrs[index]
+            if instr.op is not Opcode.GET:
+                continue
+            position = index
+            while position > 0:
+                above = block.instrs[position - 1]
+                if above.is_terminator:
+                    break
+                if _blocks_hoist(constraints, instr, above):
+                    break
+                block.instrs[position - 1] = instr
+                block.instrs[position] = above
+                position -= 1
+                moved += 1
+    return moved

@@ -1,0 +1,213 @@
+"""Communication elimination (§7): value reuse and write-back.
+
+Two transformations, both within a basic block and both justified by the
+delay set (they are the code-motion duals of the pipelining pass):
+
+* **redundant-get elimination** — a second ``get`` of the same element
+  is moved backwards until it reaches an operation sharing a delay edge
+  or a local dependence; if it reaches an earlier ``get`` of the same
+  element first, it is replaced by a register copy (the paper's
+  Figures 9/10: legal across a barrier when the element is read-only in
+  the phase, and across post-wait once the producer's write is ordered).
+
+* **dead-put elimination (write-back)** — a ``put`` overwritten by a
+  later ``put`` to the same element, with no intervening observer
+  (no delay edge involving the first put, no read of the element, no
+  synchronization), is deleted: the paper's write-back/value-propagation
+  transformations (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.symbolic import SymExpr
+from repro.codegen.constraints import MotionConstraints
+from repro.codegen.splitphase import SplitPhaseInfo
+from repro.ir.cfg import BasicBlock, Function
+from repro.ir.instructions import IndexMeta, Instr, Opcode
+
+_SYNC_CONSTRUCTS = (
+    Opcode.POST,
+    Opcode.WAIT,
+    Opcode.BARRIER,
+    Opcode.LOCK,
+    Opcode.UNLOCK,
+)
+
+
+def _index_forms(meta: Optional[IndexMeta]) -> Optional[Tuple[SymExpr, ...]]:
+    """The access's symbolic index tuple, or None when any is opaque."""
+    if meta is None:
+        return ()
+    forms: List[SymExpr] = []
+    for expr in meta.exprs:
+        if not isinstance(expr, SymExpr):
+            return None
+        forms.append(expr)
+    return tuple(forms)
+
+
+def _form_symbols(forms: Tuple[SymExpr, ...]) -> Set[str]:
+    symbols: Set[str] = set()
+    for form in forms:
+        symbols.update(form.symbols())
+    return symbols
+
+
+def _same_element(
+    a: Instr, b: Instr
+) -> Optional[Tuple[Tuple[SymExpr, ...], Set[str]]]:
+    """Must the two accesses touch the same element (on one processor)?
+
+    Returns the (shared) index forms and their symbol set on success.
+    Symbol stability between the two accesses is the caller's job.
+    """
+    if a.var != b.var:
+        return None
+    forms_a = _index_forms(a.index_meta)
+    forms_b = _index_forms(b.index_meta)
+    if forms_a is None or forms_b is None:
+        return None
+    if forms_a != forms_b:
+        return None
+    return forms_a, _form_symbols(forms_a)
+
+
+def eliminate_redundant_gets(
+    function: Function,
+    constraints: MotionConstraints,
+    info: SplitPhaseInfo,
+) -> int:
+    """Runs redundant-get elimination; returns the number eliminated."""
+    eliminated = 0
+    for block in function.blocks:
+        index = 0
+        while index < len(block.instrs):
+            g2 = block.instrs[index]
+            if g2.op is not Opcode.GET:
+                index += 1
+                continue
+            match = _find_reusable_get(block, index, constraints)
+            if match is None:
+                index += 1
+                continue
+            g1 = match
+            # Replace g2 with a register copy and drop its sync.
+            block.instrs[index] = Instr(
+                Opcode.MOVE, dest=g2.dest, src=g1.dest, location=g2.location
+            )
+            _remove_sync(block, index + 1, g2.counter)
+            info.origin.pop(g2.counter, None)
+            eliminated += 1
+            index += 1
+    return eliminated
+
+
+def _find_reusable_get(
+    block: BasicBlock, index: int, constraints: MotionConstraints
+) -> Optional[Instr]:
+    """An earlier get g1 that g2 (at ``index``) can be hoisted onto."""
+    g2 = block.instrs[index]
+    identity = _same_element(g2, g2)
+    if identity is None:
+        return None
+    _forms, symbols = identity
+    defined: Set[str] = set()
+    walk = index - 1
+    while walk >= 0:
+        instr = block.instrs[walk]
+        if instr.op is Opcode.GET and _same_element(instr, g2) is not None:
+            dest1 = instr.dest
+            if dest1 is not None and dest1.name not in defined:
+                return instr
+            return None  # value was clobbered; cannot reuse
+        if constraints.hoist_blocked_by(g2, instr):
+            return None
+        temp = instr.defined_temp()
+        if temp is not None:
+            if temp.name in symbols:
+                return None  # index basis changed between the gets
+            defined.add(temp.name)
+        walk -= 1
+    return None
+
+
+def eliminate_dead_puts(
+    function: Function,
+    constraints: MotionConstraints,
+    info: SplitPhaseInfo,
+) -> int:
+    """Write-back elimination; returns the number of puts deleted."""
+    analysis = constraints.analysis
+    #: uids participating in any delay edge (either side)
+    delayed_uids: Set[int] = set()
+    for u, v in analysis.delay_uid_pairs:
+        delayed_uids.add(u)
+        delayed_uids.add(v)
+
+    eliminated = 0
+    for block in function.blocks:
+        index = 0
+        while index < len(block.instrs):
+            p1 = block.instrs[index]
+            if p1.op is not Opcode.PUT or p1.uid in delayed_uids:
+                index += 1
+                continue
+            if _overwritten_without_observer(
+                block, index, constraints, delayed_uids
+            ):
+                del block.instrs[index]
+                _remove_sync(block, index, p1.counter)
+                info.origin.pop(p1.counter, None)
+                eliminated += 1
+                continue  # re-examine the instruction now at `index`
+            index += 1
+    return eliminated
+
+
+def _overwritten_without_observer(
+    block: BasicBlock,
+    index: int,
+    constraints: MotionConstraints,
+    delayed_uids: Set[int],
+) -> bool:
+    p1 = block.instrs[index]
+    identity = _same_element(p1, p1)
+    if identity is None:
+        return False
+    _forms, symbols = identity
+    analysis = constraints.analysis
+    for instr in block.instrs[index + 1:]:
+        if instr.op is Opcode.SYNC_CTR and instr.counter == p1.counter:
+            continue  # p1's own sync — removed along with it
+        if instr.op is Opcode.PUT and _same_element(p1, instr) is not None:
+            return True  # overwritten; p1 is dead
+        if instr.op in _SYNC_CONSTRUCTS or instr.op in (
+            Opcode.CALL,
+            Opcode.RET,
+        ):
+            return False  # another processor may observe p1 from here
+        if instr.is_shared_access:
+            if (p1.uid, instr.uid) in analysis.local_dep_uid_pairs or (
+                instr.uid,
+                p1.uid,
+            ) in analysis.local_dep_uid_pairs:
+                return False  # a local read/write of the element
+        temp = instr.defined_temp()
+        if temp is not None and temp.name in symbols:
+            return False  # "same element" no longer provable
+        if instr.is_terminator:
+            return False
+    return False
+
+
+def _remove_sync(block: BasicBlock, start: int, counter: Optional[int]) -> None:
+    """Removes the (pre-motion, adjacent) sync_ctr for ``counter``."""
+    if counter is None:
+        return
+    for offset in range(start, len(block.instrs)):
+        instr = block.instrs[offset]
+        if instr.op is Opcode.SYNC_CTR and instr.counter == counter:
+            del block.instrs[offset]
+            return

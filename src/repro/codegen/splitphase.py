@@ -1,0 +1,112 @@
+"""Split-phase conversion (§6, "Separating Initiation from Completion").
+
+Every blocking shared access becomes its split-phase analog plus an
+adjacent ``sync_ctr``:
+
+    x = V[i]        =>    get_ctr(x, V[i], c); sync_ctr(c)
+    V[i] = x        =>    put_ctr(V[i], x, c); sync_ctr(c)
+
+The transformation is *always* legal (the paper notes this); the payoff
+comes from the sync-motion pass moving the two halves apart.  The
+``get``/``put`` keeps the original instruction's uid so delay-set edges
+still name it; the ``sync_ctr`` gets a fresh uid and is linked to its
+access through the counter id.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ir.cfg import Function
+from repro.ir.instructions import Instr, Opcode
+
+
+@dataclass
+class SplitPhaseInfo:
+    """Bookkeeping produced by the conversion.
+
+    ``origin`` maps counter id -> the initiation instruction, which the
+    later passes use to evaluate motion constraints and to find the put
+    for one-way conversion.
+    """
+
+    origin: Dict[int, Instr] = field(default_factory=dict)
+    converted_reads: int = 0
+    converted_writes: int = 0
+
+
+def fuse_gets_into_locals(function: Function, info: SplitPhaseInfo) -> int:
+    """Fuses ``get t; sync; buf[i] = t`` into ``get(&buf[i], ...); sync``.
+
+    This is Split-C's native get shape: the fetched value lands directly
+    in a local array element, so the temporary's def-use edge no longer
+    pins the sync next to the get — the gather loops of the application
+    kernels pipeline only because of this.  Legal when the temp has no
+    other use.  Returns the number of gets fused.
+    """
+    # Count temp uses across the function (lowering produces single-use
+    # read temps, but be exact).
+    use_counts: Dict[str, int] = {}
+    for _block, _idx, instr in function.instructions():
+        for temp in instr.used_temps():
+            use_counts[temp.name] = use_counts.get(temp.name, 0) + 1
+
+    fused = 0
+    for block in function.blocks:
+        index = 0
+        while index + 2 < len(block.instrs):
+            get = block.instrs[index]
+            if get.op is Opcode.GET and get.dest is not None:
+                sync = block.instrs[index + 1]
+                store = block.instrs[index + 2]
+                if (
+                    sync.op is Opcode.SYNC_CTR
+                    and sync.counter == get.counter
+                    and store.op is Opcode.STORE_LOCAL
+                    and store.src == get.dest
+                    and use_counts.get(get.dest.name, 0) == 1
+                ):
+                    get.local_array = store.var
+                    get.local_indices = store.indices
+                    get.dest = None
+                    del block.instrs[index + 2]
+                    fused += 1
+            index += 1
+    return fused
+
+
+def convert_to_split_phase(function: Function) -> SplitPhaseInfo:
+    """Rewrites all blocking shared accesses in ``function`` in place."""
+    info = SplitPhaseInfo()
+    counter_ids = itertools.count(1)
+    for block in function.blocks:
+        rewritten: List[Instr] = []
+        for instr in block.instrs:
+            if instr.op is Opcode.READ_SHARED:
+                counter = next(counter_ids)
+                get = instr.copy()
+                get.op = Opcode.GET
+                get.counter = counter
+                sync = Instr(
+                    Opcode.SYNC_CTR, counter=counter, location=instr.location
+                )
+                rewritten.extend([get, sync])
+                info.origin[counter] = get
+                info.converted_reads += 1
+            elif instr.op is Opcode.WRITE_SHARED:
+                counter = next(counter_ids)
+                put = instr.copy()
+                put.op = Opcode.PUT
+                put.counter = counter
+                sync = Instr(
+                    Opcode.SYNC_CTR, counter=counter, location=instr.location
+                )
+                rewritten.extend([put, sync])
+                info.origin[counter] = put
+                info.converted_writes += 1
+            else:
+                rewritten.append(instr)
+        block.instrs = rewritten
+    return info

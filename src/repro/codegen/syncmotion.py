@@ -1,0 +1,130 @@
+"""Sync placement (§6): separate completion from initiation.
+
+The paper's algorithm iteratively *sinks* each ``sync_ctr`` away from
+its initiation — propagating block-final syncs to all successors,
+merging duplicate copies, and stopping at instructions that carry a
+delay or def-use constraint (rules 1, 2a–2c).  We compute the same
+result directly:
+
+    the syncs for access ``o`` must execute, on every path, before any
+    instruction ``x`` with a constraint ``[o, x]`` — so place one sync
+    immediately before every such *observer* that is reachable from
+    ``o`` in the CFG (and before every ``ret``).
+
+This is exactly the fixpoint of the paper's motion rules (each sync
+stops at the first constrained instruction on its path; idempotent
+duplicates merge), but it handles loops gracefully: a completion with
+no observer inside a loop migrates past the back edge entirely, giving
+fully pipelined gather/scatter loops, while a loop-carried constraint
+leaves one sync at the observer inside the body (software pipelining of
+distance one).
+
+``sync_ctr`` is idempotent and waits only for *outstanding* operations
+on its counter, so executing a placed sync on a path that never issued
+the access is a cheap no-op — which is what makes the "copy to every
+observer" placement legal (the paper makes the same observation about
+its duplicated syncs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.codegen.constraints import MotionConstraints
+from repro.codegen.splitphase import SplitPhaseInfo
+from repro.ir.cfg import Function
+from repro.ir.instructions import Instr, Opcode
+
+
+def _block_reachability(function: Function) -> Dict[str, Set[str]]:
+    """reach[L] = labels reachable from L by a non-empty path."""
+    succs = {block.label: block.successors() for block in function.blocks}
+    reach: Dict[str, Set[str]] = {}
+    for label in succs:
+        seen: Set[str] = set()
+        stack = list(succs[label])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(succs[current])
+        reach[label] = seen
+    return reach
+
+
+def place_syncs(
+    function: Function,
+    constraints: MotionConstraints,
+    info: SplitPhaseInfo,
+) -> int:
+    """Removes the adjacent syncs and re-places them at the delay
+    frontier.  Returns the number of placements (a proxy for how much
+    motion the constraints permitted)."""
+    # Drop every sync the split-phase conversion produced.
+    managed = set(info.origin)
+    for block in function.blocks:
+        block.instrs = [
+            instr
+            for instr in block.instrs
+            if not (
+                instr.op is Opcode.SYNC_CTR and instr.counter in managed
+            )
+        ]
+
+    reach = _block_reachability(function)
+    positions: Dict[int, tuple] = {}
+    for block in function.blocks:
+        for index, instr in enumerate(block.instrs):
+            positions[instr.uid] = (block.label, index)
+
+    def reachable(origin: Instr, other: Instr) -> bool:
+        o_block, o_index = positions[origin.uid]
+        x_block, x_index = positions[other.uid]
+        if o_block == x_block and o_index < x_index:
+            return True
+        if x_block in reach[o_block]:
+            return True
+        return False
+
+    # insertions[(block label, index)] = counters needing a sync there.
+    insertions: Dict[tuple, List[int]] = {}
+    placements = 0
+    for counter, origin in info.origin.items():
+        if origin.uid not in positions:
+            continue  # the access itself was eliminated
+        for block in function.blocks:
+            for index, instr in enumerate(block.instrs):
+                if instr.op is Opcode.SYNC_CTR:
+                    continue
+                is_observer = instr.op is Opcode.RET or (
+                    constraints.sync_blocked_by(origin, instr)
+                )
+                if not is_observer:
+                    continue
+                if not reachable(origin, instr):
+                    continue
+                key = (block.label, index)
+                counters = insertions.setdefault(key, [])
+                if counter not in counters:
+                    counters.append(counter)
+                    placements += 1
+
+    # Apply insertions back-to-front so indices stay valid.
+    by_block: Dict[str, List[tuple]] = {}
+    for (label, index), counters in insertions.items():
+        by_block.setdefault(label, []).append((index, counters))
+    for label, entries in by_block.items():
+        block = function.block(label)
+        for index, counters in sorted(entries, reverse=True):
+            for counter in sorted(counters, reverse=True):
+                block.instrs.insert(
+                    index, Instr(Opcode.SYNC_CTR, counter=counter)
+                )
+    return placements
+
+
+#: Backwards-compatible name: the pipeline historically called the
+#: iterative sinking algorithm; the frontier placement computes the same
+#: fixpoint directly.
+sink_syncs = place_syncs

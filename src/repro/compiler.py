@@ -1,0 +1,51 @@
+"""Top-level public API: compile and analyze MiniSplit source programs.
+
+Typical use::
+
+    from repro import compile_source, OptLevel
+    from repro.runtime import CM5
+
+    program = compile_source(source_text, OptLevel.O3)
+    result = program.run(num_procs=8, machine=CM5)
+    print(result.cycles, result.snapshot()["A"])
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.delays import (
+    AnalysisLevel,
+    AnalysisResult,
+    analyze_function,
+)
+from repro.codegen.pipeline import CompiledProgram, OptLevel, compile_module
+from repro.ir.cfg import Module
+from repro.ir.inline import inline_all
+from repro.ir.lowering import lower_program
+from repro.lang import parse_and_check
+
+
+def frontend(source: str, filename: str = "<input>") -> Module:
+    """Parses, checks and lowers MiniSplit source to an IR module."""
+    return lower_program(parse_and_check(source, filename))
+
+
+def compile_source(
+    source: str,
+    opt_level: OptLevel = OptLevel.O3,
+    filename: str = "<input>",
+) -> CompiledProgram:
+    """Compiles MiniSplit source at the given optimization level."""
+    module = frontend(source, filename)
+    return compile_module(module, opt_level, clone=False)
+
+
+def analyze_source(
+    source: str,
+    level: AnalysisLevel = AnalysisLevel.SYNC,
+    filename: str = "<input>",
+) -> AnalysisResult:
+    """Runs delay-set analysis on a source program's inlined main."""
+    module = inline_all(frontend(source, filename))
+    return analyze_function(module.main, level)

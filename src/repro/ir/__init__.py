@@ -1,0 +1,55 @@
+"""Intermediate representation: instructions, CFG, and sequential analyses.
+
+This package provides the standard compiler substrate the paper assumes
+as input to its parallel analyses: a CFG per function, dominator trees,
+reaching definitions / def-use chains, liveness, and function inlining.
+"""
+
+from repro.ir.cfg import BasicBlock, Function, Module
+from repro.ir.defuse import DefUseInfo, compute_def_use
+from repro.ir.dominators import DominatorTree, reverse_postorder
+from repro.ir.inline import check_no_recursion, inline_all
+from repro.ir.instructions import (
+    MYPROC,
+    PROCS,
+    BinOpKind,
+    Const,
+    IndexMeta,
+    Instr,
+    LocalArray,
+    LoopRange,
+    Opcode,
+    Operand,
+    SharedVar,
+    Temp,
+    UnOpKind,
+)
+from repro.ir.liveness import Liveness
+from repro.ir.lowering import lower_program
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "Module",
+    "Instr",
+    "Opcode",
+    "BinOpKind",
+    "UnOpKind",
+    "Temp",
+    "Const",
+    "Operand",
+    "IndexMeta",
+    "LoopRange",
+    "SharedVar",
+    "LocalArray",
+    "MYPROC",
+    "PROCS",
+    "lower_program",
+    "inline_all",
+    "check_no_recursion",
+    "DominatorTree",
+    "reverse_postorder",
+    "compute_def_use",
+    "DefUseInfo",
+    "Liveness",
+]

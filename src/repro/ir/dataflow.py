@@ -1,0 +1,122 @@
+"""A small generic iterative dataflow framework.
+
+Used by reaching definitions (:mod:`repro.ir.defuse`) and liveness
+(:mod:`repro.ir.liveness`).  Analyses are expressed as gen/kill bit-set
+problems over basic blocks; instruction-level results are recovered by
+replaying the block transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generic, Iterable, TypeVar
+
+from repro.ir.cfg import Function
+
+Fact = TypeVar("Fact")
+
+
+@dataclass
+class BlockSets(Generic[Fact]):
+    """Per-block gen/kill sets for a bit-vector problem."""
+
+    gen: FrozenSet[Fact]
+    kill: FrozenSet[Fact]
+
+
+class ForwardDataflow(Generic[Fact]):
+    """Forward may/must analysis with union or intersection confluence."""
+
+    def __init__(
+        self,
+        function: Function,
+        block_sets: Dict[str, BlockSets[Fact]],
+        universe: FrozenSet[Fact],
+        may: bool = True,
+        entry_fact: FrozenSet[Fact] = frozenset(),
+    ):
+        self._function = function
+        self._sets = block_sets
+        self._universe = universe
+        self._may = may
+        self._entry_fact = entry_fact
+        self.block_in: Dict[str, FrozenSet[Fact]] = {}
+        self.block_out: Dict[str, FrozenSet[Fact]] = {}
+        self._solve()
+
+    def _confluence(self, facts: Iterable[FrozenSet[Fact]]) -> FrozenSet[Fact]:
+        facts = list(facts)
+        if not facts:
+            return self._entry_fact
+        if self._may:
+            result: FrozenSet[Fact] = frozenset()
+            for fact in facts:
+                result |= fact
+            return result
+        result = facts[0]
+        for fact in facts[1:]:
+            result &= fact
+        return result
+
+    def _solve(self) -> None:
+        preds = self._function.predecessors()
+        labels = [block.label for block in self._function.blocks]
+        init = frozenset() if self._may else self._universe
+        for label in labels:
+            self.block_in[label] = init
+            self.block_out[label] = init
+        entry = self._function.entry.label
+        self.block_in[entry] = self._entry_fact
+        worklist = list(labels)
+        while worklist:
+            label = worklist.pop(0)
+            if label == entry:
+                in_fact = self._entry_fact
+            else:
+                in_fact = self._confluence(
+                    self.block_out[p] for p in preds[label]
+                )
+            sets = self._sets[label]
+            out_fact = (in_fact - sets.kill) | sets.gen
+            self.block_in[label] = in_fact
+            if out_fact != self.block_out[label]:
+                self.block_out[label] = out_fact
+                for succ in self._function.block(label).successors():
+                    if succ not in worklist:
+                        worklist.append(succ)
+
+
+class BackwardDataflow(Generic[Fact]):
+    """Backward may analysis (union confluence), e.g. liveness."""
+
+    def __init__(
+        self,
+        function: Function,
+        block_sets: Dict[str, BlockSets[Fact]],
+    ):
+        self._function = function
+        self._sets = block_sets
+        self.block_in: Dict[str, FrozenSet[Fact]] = {}
+        self.block_out: Dict[str, FrozenSet[Fact]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        labels = [block.label for block in self._function.blocks]
+        preds = self._function.predecessors()
+        for label in labels:
+            self.block_in[label] = frozenset()
+            self.block_out[label] = frozenset()
+        worklist = list(reversed(labels))
+        while worklist:
+            label = worklist.pop(0)
+            out_fact: FrozenSet[Fact] = frozenset()
+            for succ in self._function.block(label).successors():
+                out_fact |= self.block_in[succ]
+            sets = self._sets[label]
+            in_fact = (out_fact - sets.kill) | sets.gen
+            self.block_out[label] = out_fact
+            if in_fact != self.block_in[label]:
+                self.block_in[label] = in_fact
+                for pred in preds[label]:
+                    if pred not in worklist:
+                        worklist.append(pred)

@@ -1,0 +1,101 @@
+"""Reaching definitions and def-use chains for temps.
+
+Code generation (§6) moves ``sync_ctr`` operations and ``get``s past
+other instructions; besides the delay set it must respect ordinary local
+dependencies, which this module provides: for every instruction, the set
+of definition sites whose values it may use, and for every definition,
+the instructions that may use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.ir.cfg import Function
+from repro.ir.dataflow import BlockSets, ForwardDataflow
+from repro.ir.instructions import Instr, Temp
+
+#: A definition fact: (temp name, uid of the defining instruction).
+DefFact = Tuple[str, int]
+
+#: Pseudo-uid for "defined before entry" (parameters, MYPROC, PROCS).
+ENTRY_DEF = 0
+
+
+@dataclass
+class DefUseInfo:
+    """Reaching-definition and def-use results for one function."""
+
+    #: instruction uid -> temp name -> set of defining uids reaching it
+    reaching: Dict[int, Dict[str, FrozenSet[int]]] = field(default_factory=dict)
+    #: defining uid -> set of instruction uids that may use the value
+    uses: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def defs_reaching_use(self, use_uid: int, temp: Temp) -> FrozenSet[int]:
+        return self.reaching.get(use_uid, {}).get(temp.name, frozenset())
+
+    def users_of(self, def_uid: int) -> Set[int]:
+        return self.uses.get(def_uid, set())
+
+
+def compute_def_use(function: Function) -> DefUseInfo:
+    """Computes reaching definitions and def-use chains for ``function``."""
+    # Collect all definitions of each temp.
+    defs_of_temp: Dict[str, Set[int]] = {}
+    universe: Set[DefFact] = set()
+    entry_temps = {param.name for param in function.params}
+    entry_temps.update(("MYPROC", "PROCS"))
+    for name in entry_temps:
+        fact = (name, ENTRY_DEF)
+        universe.add(fact)
+        defs_of_temp.setdefault(name, set()).add(ENTRY_DEF)
+    for _block, _index, instr in function.instructions():
+        defined = instr.defined_temp()
+        if defined is not None:
+            fact = (defined.name, instr.uid)
+            universe.add(fact)
+            defs_of_temp.setdefault(defined.name, set()).add(instr.uid)
+
+    # Per-block gen/kill.
+    block_sets: Dict[str, BlockSets[DefFact]] = {}
+    for block in function.blocks:
+        gen: Dict[str, int] = {}
+        for instr in block.instrs:
+            defined = instr.defined_temp()
+            if defined is not None:
+                gen[defined.name] = instr.uid
+        kill: Set[DefFact] = set()
+        for name in gen:
+            for def_uid in defs_of_temp.get(name, ()):
+                kill.add((name, def_uid))
+        block_sets[block.label] = BlockSets(
+            gen=frozenset((name, uid) for name, uid in gen.items()),
+            kill=frozenset(kill),
+        )
+
+    entry_fact = frozenset((name, ENTRY_DEF) for name in entry_temps)
+    flow = ForwardDataflow(
+        function, block_sets, frozenset(universe), may=True,
+        entry_fact=entry_fact,
+    )
+
+    # Replay each block to get instruction-level reaching sets.
+    info = DefUseInfo()
+    for block in function.blocks:
+        live: Dict[str, Set[int]] = {}
+        for name, uid in flow.block_in[block.label]:
+            live.setdefault(name, set()).add(uid)
+        for instr in block.instrs:
+            per_temp: Dict[str, FrozenSet[int]] = {}
+            for temp in instr.used_temps():
+                reaching = frozenset(live.get(temp.name, ()))
+                per_temp[temp.name] = reaching
+                for def_uid in reaching:
+                    info.uses.setdefault(def_uid, set()).add(instr.uid)
+            if per_temp:
+                info.reaching[instr.uid] = per_temp
+            defined = instr.defined_temp()
+            if defined is not None:
+                live[defined.name] = {instr.uid}
+    return info

@@ -1,0 +1,135 @@
+"""Dominator analysis.
+
+Section 5.1's refinement algorithm (step 1) needs the dominator tree:
+the precedence rule requires ``a1 dominates b1`` and ``b2 dominates a2``
+so that the *dynamic* instances of the four accesses line up.  We use the
+Cooper–Harvey–Kennedy iterative algorithm over a reverse-postorder
+numbering, then extend block dominance to instruction granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import Function
+
+
+def reverse_postorder(function: Function) -> List[str]:
+    """Block labels in reverse postorder from the entry."""
+    visited = set()
+    order: List[str] = []
+
+    def visit(label: str) -> None:
+        # Iterative DFS (deep CFGs would overflow Python's stack).
+        stack = [(label, iter(function.block(label).successors()))]
+        visited.add(label)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(function.block(succ).successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry.label)
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a function."""
+
+    def __init__(self, function: Function):
+        self._function = function
+        self._rpo = reverse_postorder(function)
+        self._rpo_index: Dict[str, int] = {
+            label: index for index, label in enumerate(self._rpo)
+        }
+        self.idom: Dict[str, Optional[str]] = {}
+        self._compute()
+        self._instr_positions: Dict[int, tuple] = {}
+        for block in function.blocks:
+            for index, instr in enumerate(block.instrs):
+                self._instr_positions[instr.uid] = (block.label, index)
+
+    def _compute(self) -> None:
+        entry = self._function.entry.label
+        preds = self._function.predecessors()
+        idom: Dict[str, Optional[str]] = {label: None for label in self._rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for label in self._rpo:
+                if label == entry:
+                    continue
+                candidates = [
+                    p for p in preds[label]
+                    if p in self._rpo_index and idom[p] is not None
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = self._intersect(new_idom, pred, idom)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[entry] = None  # conventional: entry has no idom
+        self.idom = idom
+
+    def _intersect(
+        self, a: str, b: str, idom: Dict[str, Optional[str]]
+    ) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    # -- queries ---------------------------------------------------------
+
+    def block_dominates(self, a: str, b: str) -> bool:
+        """Does block ``a`` dominate block ``b`` (reflexive)?"""
+        if a not in self._rpo_index or b not in self._rpo_index:
+            return False
+        current: Optional[str] = b
+        while current is not None:
+            if current == a:
+                return True
+            current = self.idom[current]
+        return False
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, nearest first (includes itself)."""
+        result = []
+        current: Optional[str] = label
+        while current is not None:
+            result.append(current)
+            current = self.idom[current]
+        return result
+
+    def instr_dominates(self, uid_a: int, uid_b: int) -> bool:
+        """Does instruction ``a`` dominate instruction ``b``?
+
+        Within a block this is program order (reflexive); across blocks
+        it is strict block dominance.
+        """
+        pos_a = self._instr_positions.get(uid_a)
+        pos_b = self._instr_positions.get(uid_b)
+        if pos_a is None or pos_b is None:
+            return False
+        block_a, index_a = pos_a
+        block_b, index_b = pos_b
+        if block_a == block_b:
+            return index_a <= index_b
+        # Entering a dominating block executes all of it before control can
+        # reach ``b``'s block, so block dominance suffices across blocks.
+        return self.block_dominates(block_a, block_b)

@@ -1,0 +1,230 @@
+"""Function inlining.
+
+The paper's analyses want one control-flow graph per SPMD program (§6:
+"the input to the code generation phase is the control flow graph ...").
+We therefore inline every call before analysis.  Recursion is rejected
+with a diagnostic — the paper's source subset (scientific kernels) has
+none, and cycle detection over recursive call graphs is out of scope.
+
+Cloned instructions receive fresh uids; temps, labels, local arrays and
+the symbolic index metadata are consistently renamed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import AnalysisError
+from repro.ir.cfg import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    IndexMeta,
+    Instr,
+    LocalArray,
+    LoopRange,
+    Opcode,
+    Operand,
+    Temp,
+)
+
+
+def _call_targets(function: Function) -> Set[str]:
+    return {
+        instr.callee
+        for _b, _i, instr in function.instructions()
+        if instr.op is Opcode.CALL
+    }
+
+
+def check_no_recursion(module: Module) -> List[str]:
+    """Returns a reverse-topological ordering of the call graph.
+
+    Raises :class:`AnalysisError` if the call graph has a cycle.
+    """
+    color: Dict[str, int] = {}  # 0 white, 1 grey, 2 black
+    order: List[str] = []
+
+    def visit(name: str, trail: List[str]) -> None:
+        state = color.get(name, 0)
+        if state == 1:
+            cycle = " -> ".join(trail + [name])
+            raise AnalysisError(f"recursive call cycle: {cycle}")
+        if state == 2:
+            return
+        color[name] = 1
+        function = module.functions.get(name)
+        if function is not None:
+            for callee in sorted(_call_targets(function)):
+                visit(callee, trail + [name])
+        color[name] = 2
+        order.append(name)
+
+    for name in module.functions:
+        visit(name, [])
+    return order
+
+
+def _rename_operand(operand: Optional[Operand],
+                    temp_map: Dict[str, Temp]) -> Optional[Operand]:
+    if isinstance(operand, Temp) and operand.name in temp_map:
+        return temp_map[operand.name]
+    return operand
+
+
+def _rename_meta(meta: Optional[IndexMeta],
+                 name_map: Dict[str, str]) -> Optional[IndexMeta]:
+    if meta is None:
+        return None
+    exprs = tuple(
+        expr.rename_map(name_map) if expr is not None else None
+        for expr in meta.exprs
+    )
+    loops = tuple(
+        LoopRange(
+            var=name_map.get(loop.var, loop.var),
+            lo=loop.lo,
+            hi=loop.hi,
+            step=loop.step,
+        )
+        for loop in meta.loops
+    )
+    return IndexMeta(exprs=exprs, loops=loops, proc_guard=meta.proc_guard)
+
+
+def _clone_instr(
+    instr: Instr,
+    temp_map: Dict[str, Temp],
+    label_map: Dict[str, str],
+    array_map: Dict[str, str],
+    name_map: Dict[str, str],
+) -> Instr:
+    clone = instr.copy(fresh=True)
+    clone.dest = _rename_operand(clone.dest, temp_map)
+    clone.lhs = _rename_operand(clone.lhs, temp_map)
+    clone.rhs = _rename_operand(clone.rhs, temp_map)
+    clone.src = _rename_operand(clone.src, temp_map)
+    clone.cond = _rename_operand(clone.cond, temp_map)
+    clone.args = tuple(_rename_operand(a, temp_map) for a in clone.args)
+    clone.indices = tuple(_rename_operand(i, temp_map) for i in clone.indices)
+    clone.local_indices = tuple(
+        _rename_operand(i, temp_map) for i in clone.local_indices
+    )
+    clone.index_meta = _rename_meta(clone.index_meta, name_map)
+    if clone.op in (Opcode.LOAD_LOCAL, Opcode.STORE_LOCAL):
+        clone.var = array_map.get(clone.var, clone.var)
+    if clone.local_array is not None:
+        clone.local_array = array_map.get(clone.local_array,
+                                          clone.local_array)
+    if clone.target is not None:
+        clone.target = label_map.get(clone.target, clone.target)
+    if clone.true_target is not None:
+        clone.true_target = label_map.get(clone.true_target, clone.true_target)
+    if clone.false_target is not None:
+        clone.false_target = label_map.get(
+            clone.false_target, clone.false_target
+        )
+    return clone
+
+
+def _inline_call_site(
+    caller: Function,
+    block: BasicBlock,
+    call_index: int,
+    callee: Function,
+) -> None:
+    call = block.instrs[call_index]
+
+    # Fresh names for everything the callee owns.
+    temp_map: Dict[str, Temp] = {}
+    for param in callee.params:
+        temp_map[param.name] = caller.new_temp(f"inl.{param.name}")
+    collected_temps: Set[str] = set()
+    for _b, _i, instr in callee.instructions():
+        defined = instr.defined_temp()
+        if defined is not None:
+            collected_temps.add(defined.name)
+        for temp in instr.used_temps():
+            collected_temps.add(temp.name)
+    for name in sorted(collected_temps):
+        if name in ("MYPROC", "PROCS") or name in temp_map:
+            continue
+        temp_map[name] = caller.new_temp(f"inl.{name}")
+    name_map = {old: new.name for old, new in temp_map.items()}
+
+    array_map: Dict[str, str] = {}
+    for array in callee.local_arrays.values():
+        fresh_name = f"{array.name}@{caller.fresh_label('inl')}"
+        array_map[array.name] = fresh_name
+        caller.local_arrays[fresh_name] = LocalArray(
+            name=fresh_name, kind=array.kind, dims=array.dims
+        )
+
+    label_map: Dict[str, str] = {
+        b.label: caller.fresh_label(f"inl_{b.label}_") for b in callee.blocks
+    }
+    cont_label = caller.fresh_label("cont")
+
+    # Split the calling block: tail goes to the continuation block.
+    tail = block.instrs[call_index + 1:]
+    block.instrs = block.instrs[:call_index]
+    for param, arg in zip(callee.params, call.args):
+        block.instrs.append(
+            Instr(Opcode.MOVE, dest=temp_map[param.name], src=arg,
+                  location=call.location)
+        )
+    block.instrs.append(
+        Instr(Opcode.JUMP, target=label_map[callee.entry.label])
+    )
+
+    cont = BasicBlock(cont_label)
+    cont.instrs = tail
+    caller.adopt_block(cont)
+
+    for src_block in callee.blocks:
+        clone = BasicBlock(label_map[src_block.label])
+        for instr in src_block.instrs:
+            if instr.op is Opcode.RET:
+                if call.dest is not None:
+                    result = _rename_operand(instr.src, temp_map)
+                    if result is None:
+                        result = Temp("__undef__")  # void-return misuse
+                    clone.instrs.append(
+                        Instr(Opcode.MOVE, dest=call.dest, src=result,
+                              location=instr.location)
+                    )
+                clone.instrs.append(Instr(Opcode.JUMP, target=cont_label))
+                break  # anything after ret in this block is dead
+            clone.instrs.append(
+                _clone_instr(instr, temp_map, label_map, array_map, name_map)
+            )
+        if not clone.instrs or not clone.instrs[-1].is_terminator:
+            # Callee block ended with a non-ret terminator that was cloned
+            # above, or was malformed; verify() will catch the latter.
+            pass
+        caller.adopt_block(clone)
+
+
+def inline_all(module: Module) -> Module:
+    """Inlines every call in every function, callees first (in place)."""
+    order = check_no_recursion(module)
+    for name in order:
+        function = module.functions[name]
+        # Repeat until no calls remain (each pass may expose none anyway
+        # because callees are processed first, but a function can contain
+        # several call sites).
+        while True:
+            site = None
+            for block in function.blocks:
+                for index, instr in enumerate(block.instrs):
+                    if instr.op is Opcode.CALL:
+                        site = (block, index, instr)
+                        break
+                if site is not None:
+                    break
+            if site is None:
+                break
+            block, index, call = site
+            callee = module.functions[call.callee]
+            _inline_call_site(function, block, index, callee)
+        function.remove_unreachable_blocks()
+        function.verify()
+    return module

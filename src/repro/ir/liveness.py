@@ -1,0 +1,59 @@
+"""Liveness analysis for temps.
+
+Used by the redundant-get elimination pass (§7) to confirm that a value
+fetched by an earlier ``get`` is still available (its temp has not been
+clobbered) at a later access, and by tests as a standard consumer of the
+backward-dataflow framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.ir.cfg import Function
+from repro.ir.dataflow import BackwardDataflow, BlockSets
+
+
+class Liveness:
+    """Per-block and per-instruction live temp names."""
+
+    def __init__(self, function: Function):
+        self._function = function
+        block_sets: Dict[str, BlockSets[str]] = {}
+        for block in function.blocks:
+            gen: Set[str] = set()
+            kill: Set[str] = set()
+            for instr in block.instrs:
+                for temp in instr.used_temps():
+                    if temp.name not in kill:
+                        gen.add(temp.name)
+                defined = instr.defined_temp()
+                if defined is not None:
+                    kill.add(defined.name)
+            block_sets[block.label] = BlockSets(
+                gen=frozenset(gen), kill=frozenset(kill)
+            )
+        self._flow = BackwardDataflow(function, block_sets)
+        self._live_after: Dict[int, FrozenSet[str]] = {}
+        self._compute_per_instruction()
+
+    def _compute_per_instruction(self) -> None:
+        for block in self._function.blocks:
+            live = set(self._flow.block_out[block.label])
+            for instr in reversed(block.instrs):
+                self._live_after[instr.uid] = frozenset(live)
+                defined = instr.defined_temp()
+                if defined is not None:
+                    live.discard(defined.name)
+                for temp in instr.used_temps():
+                    live.add(temp.name)
+
+    def live_in(self, label: str) -> FrozenSet[str]:
+        return self._flow.block_in[label]
+
+    def live_out(self, label: str) -> FrozenSet[str]:
+        return self._flow.block_out[label]
+
+    def live_after(self, uid: int) -> FrozenSet[str]:
+        """Temp names live immediately after the given instruction."""
+        return self._live_after.get(uid, frozenset())

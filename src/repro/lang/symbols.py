@@ -1,0 +1,61 @@
+"""Symbol tables for the MiniSplit checker.
+
+A :class:`Scope` is a chained dictionary from names to :class:`Symbol`
+entries.  Shared declarations live in the global scope; each function
+body opens nested scopes for blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SourceLocation, TypeError_
+from repro.lang.types import Type
+
+
+class SymbolKind(enum.Enum):
+    SHARED = "shared"
+    LOCAL = "local"
+    PARAM = "param"
+    FUNCTION = "function"
+
+
+@dataclass
+class Symbol:
+    name: str
+    kind: SymbolKind
+    type: Type
+    location: SourceLocation
+
+
+class Scope:
+    """A lexical scope; lookups chain to the parent."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self._symbols: Dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol) -> None:
+        if symbol.name in self._symbols:
+            previous = self._symbols[symbol.name]
+            raise TypeError_(
+                f"redeclaration of {symbol.name!r} "
+                f"(previously declared at {previous.location})",
+                symbol.location,
+            )
+        self._symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            symbol = scope._symbols.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+    def lookup_local(self, name: str) -> Optional[Symbol]:
+        """Lookup restricted to this scope (no chaining)."""
+        return self._symbols.get(name)

@@ -1,0 +1,113 @@
+"""The MiniSplit type system.
+
+The source language restrictions follow section 2 of the paper:
+
+* The global address space is exposed *only* through ``shared`` scalars
+  and distributed arrays — there are no global pointers, so the analyses
+  need no alias analysis for shared data.
+* Local data (scalars and arrays) is invisible to the parallel analyses:
+  local accesses can never participate in a cross-processor conflict.
+* ``flag_t`` objects are the paper's post/wait event variables; the
+  analysis assumes each flag is posted at most once per phase.
+* ``lock_t`` objects are mutual-exclusion locks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class ScalarKind(enum.Enum):
+    """Primitive element kinds."""
+
+    INT = "int"
+    DOUBLE = "double"
+    VOID = "void"
+    FLAG = "flag_t"
+    LOCK = "lock_t"
+
+
+class Distribution(enum.Enum):
+    """How a shared array is laid out across processors.
+
+    ``BLOCK`` gives each processor one contiguous chunk of the leading
+    dimension; ``CYCLIC`` deals leading-dimension elements round-robin.
+    Shared scalars always live on processor 0.
+    """
+
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniSplit type: a scalar kind plus optional array dimensions.
+
+    ``dims`` is a tuple of compile-time-constant extents; empty for
+    scalars.  ``shared`` marks data living in the global address space.
+    """
+
+    kind: ScalarKind
+    dims: Tuple[int, ...] = field(default=())
+    shared: bool = False
+    distribution: Distribution = Distribution.BLOCK
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in (ScalarKind.INT, ScalarKind.DOUBLE) and not self.dims
+
+    @property
+    def is_sync_object(self) -> bool:
+        return self.kind in (ScalarKind.FLAG, ScalarKind.LOCK)
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for extent in self.dims:
+            count *= extent
+        return count
+
+    def element_type(self) -> "Type":
+        """The type obtained by fully indexing this array."""
+        return Type(self.kind, (), self.shared, self.distribution)
+
+    def __str__(self) -> str:
+        text = self.kind.value
+        if self.shared:
+            text = "shared " + text
+        for extent in self.dims:
+            text += f"[{extent}]"
+        return text
+
+
+INT = Type(ScalarKind.INT)
+DOUBLE = Type(ScalarKind.DOUBLE)
+VOID = Type(ScalarKind.VOID)
+FLAG = Type(ScalarKind.FLAG)
+LOCK = Type(ScalarKind.LOCK)
+
+
+def arithmetic_result(left: Type, right: Type) -> Type:
+    """Usual arithmetic conversion: double wins over int."""
+    if ScalarKind.DOUBLE in (left.kind, right.kind):
+        return DOUBLE
+    return INT
+
+
+def assignable(target: Type, value: Type) -> bool:
+    """True if a value of type ``value`` may be assigned to ``target``.
+
+    MiniSplit permits implicit int<->double conversion (like C) but no
+    array or sync-object assignment.
+    """
+    if target.is_array or value.is_array:
+        return False
+    if target.kind in (ScalarKind.FLAG, ScalarKind.LOCK, ScalarKind.VOID):
+        return False
+    return value.kind in (ScalarKind.INT, ScalarKind.DOUBLE)

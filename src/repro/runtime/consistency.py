@@ -1,0 +1,94 @@
+"""Sequential-consistency checking of execution traces (§3).
+
+An execution is sequentially consistent when some total order ``S`` of
+its accesses (a) contains every processor's program order and (b) makes
+every read return the most recent preceding write (Lamport).  Deciding
+this is NP-hard in general; the checker below is a memoized backtracking
+search adequate for litmus-test-sized traces, which is exactly what the
+test suite feeds it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.runtime.trace import ExecutionTrace, Location, MemEvent
+
+Value = Union[int, float]
+
+#: Default initial contents of every location.
+_DEFAULT_INITIAL: Value = 0
+
+
+def is_sequentially_consistent(
+    trace: ExecutionTrace,
+    initial: Optional[Dict[Location, Value]] = None,
+    step_limit: int = 2_000_000,
+) -> bool:
+    """Does some legal total order explain the trace?
+
+    ``initial`` overrides the default all-zero initial memory.  The
+    search is exact; ``step_limit`` bounds pathological cases (raising
+    rather than answering wrongly).
+    """
+    initial = initial or {}
+    per_proc = [list(events) for events in trace.per_proc]
+    lengths = [len(events) for events in per_proc]
+
+    # Pre-intern locations/values for cheap memo keys.
+    def value_at(memory: Dict[Location, Value], location: Location) -> Value:
+        return memory.get(location, initial.get(location, _DEFAULT_INITIAL))
+
+    seen: set = set()
+    steps = 0
+
+    def search(positions: Tuple[int, ...],
+               memory: Tuple[Tuple[Location, Value], ...]) -> bool:
+        nonlocal steps
+        steps += 1
+        if steps > step_limit:
+            raise RuntimeError(
+                "SC check exceeded step limit; trace too large for the "
+                "exact checker"
+            )
+        if all(pos == length for pos, length in zip(positions, lengths)):
+            return True
+        key = (positions, memory)
+        if key in seen:
+            return False
+        seen.add(key)
+        memory_dict = dict(memory)
+        for proc, pos in enumerate(positions):
+            if pos >= lengths[proc]:
+                continue
+            event = per_proc[proc][pos]
+            next_positions = (
+                positions[:proc] + (pos + 1,) + positions[proc + 1:]
+            )
+            if event.op == "w":
+                next_memory = dict(memory_dict)
+                next_memory[event.location] = event.value
+                if search(next_positions,
+                          tuple(sorted(next_memory.items()))):
+                    return True
+            else:
+                if value_at(memory_dict, event.location) == event.value:
+                    if search(next_positions, memory):
+                        return True
+        return False
+
+    return search(tuple(0 for _ in per_proc), ())
+
+
+def find_violation_witness(
+    trace: ExecutionTrace,
+    initial: Optional[Dict[Location, Value]] = None,
+) -> Optional[str]:
+    """Human-readable description when a trace is not SC, else None."""
+    if is_sequentially_consistent(trace, initial):
+        return None
+    lines = ["trace admits no sequentially consistent total order:"]
+    for proc, events in enumerate(trace.per_proc):
+        rendered = ", ".join(str(event) for event in events)
+        lines.append(f"  P{proc}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Machine models (Table 1 of the paper).
+
+The simulator is parameterized by a :class:`MachineConfig` whose
+components decompose the paper's end-to-end latencies:
+
+* a blocking remote read costs
+  ``send_overhead + wire_latency + remote_handle + wire_latency +
+  recv_overhead`` cycles;
+* a local access through the global-address-space layer costs
+  ``local_access`` cycles;
+* split-phase operations pay ``send_overhead`` at issue and overlap the
+  rest — which is exactly why message pipelining wins;
+* a ``put`` additionally generates an acknowledgement (one
+  ``send_overhead`` on the remote node and one ``recv_overhead`` of
+  handler time stolen from the issuing CPU); a ``store`` does not —
+  which is why one-way communication wins.
+
+The three presets reproduce Table 1:
+
+=========  ============  ===========
+machine    remote (cyc)  local (cyc)
+=========  ============  ===========
+CM-5       400           30
+T3D        85            23
+DASH       110           26
+=========  ============  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cycle-level cost model for the simulated multiprocessor."""
+
+    name: str
+    #: Cost of a shared access whose element lives on the issuing node.
+    local_access: int
+    #: CPU cycles to construct and inject a network message.
+    send_overhead: int
+    #: CPU cycles to consume a network reply / handle an incoming ack.
+    recv_overhead: int
+    #: One-way network traversal time.
+    wire_latency: int
+    #: Time for the remote node to service a request (incl. memory).
+    remote_handle: int
+    #: Cost of an ordinary ALU/move instruction.
+    cpu_op: int = 1
+    #: Cost of a local (private) array load/store.
+    local_mem: int = 2
+    #: Fixed cost of a barrier rendezvous beyond the message exchange.
+    barrier_base: int = 40
+    #: Per-processor component of the barrier (combining-tree-ish).
+    barrier_per_proc: int = 4
+    #: Maximum random extra wire delay (adversarial reordering); the
+    #: simulator draws uniformly from [0, jitter] per message.
+    jitter: int = 0
+
+    @property
+    def remote_read_cycles(self) -> int:
+        """End-to-end blocking remote read latency (Table 1's number)."""
+        return (
+            self.send_overhead
+            + self.wire_latency
+            + self.remote_handle
+            + self.wire_latency
+            + self.recv_overhead
+        )
+
+    def with_jitter(self, jitter: int) -> "MachineConfig":
+        return replace(self, jitter=jitter)
+
+
+#: Thinking Machines CM-5: high-overhead message layer (Table 1: 400/30).
+CM5 = MachineConfig(
+    name="cm5",
+    local_access=30,
+    send_overhead=35,
+    recv_overhead=35,
+    wire_latency=150,
+    remote_handle=30,
+)
+
+#: Cray T3D: low-latency remote access (Table 1: 85/23).
+T3D = MachineConfig(
+    name="t3d",
+    local_access=23,
+    send_overhead=10,
+    recv_overhead=10,
+    wire_latency=25,
+    remote_handle=15,
+)
+
+#: Stanford DASH: hardware cache coherence (Table 1: 110/26).
+DASH = MachineConfig(
+    name="dash",
+    local_access=26,
+    send_overhead=15,
+    recv_overhead=15,
+    wire_latency=32,
+    remote_handle=16,
+)
+
+MACHINES: Dict[str, MachineConfig] = {
+    "cm5": CM5,
+    "t3d": T3D,
+    "dash": DASH,
+}
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Looks up a preset machine model by name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r} (known: {known})") from None

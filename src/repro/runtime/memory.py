@@ -1,0 +1,107 @@
+"""The distributed global address space.
+
+Shared variables are partitioned across processors exactly as Split-C
+distributes them: shared scalars live on processor 0; distributed arrays
+are split over the *leading* dimension, blocked or cyclic.  Values are
+held centrally (the simulator is one process) but every access is routed
+to the owning processor's node, which is what produces the local/remote
+cost difference and the network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import RuntimeFault
+from repro.ir.cfg import Module
+from repro.ir.instructions import SharedVar
+from repro.lang.types import Distribution, ScalarKind
+
+Value = Union[int, float]
+
+
+def flat_index(var: SharedVar, indices: Tuple[int, ...]) -> int:
+    """Row-major flattening with bounds checking."""
+    if len(indices) != len(var.dims):
+        raise RuntimeFault(
+            f"{var.name}: expected {len(var.dims)} indices, got {len(indices)}"
+        )
+    flat = 0
+    for index, extent in zip(indices, var.dims):
+        if not 0 <= index < extent:
+            raise RuntimeFault(
+                f"{var.name}: index {index} out of range [0, {extent})"
+            )
+        flat = flat * extent + index
+    return flat
+
+
+def leading_index(var: SharedVar, flat: int) -> int:
+    """Recovers the leading-dimension index from a flat offset."""
+    trailing = 1
+    for extent in var.dims[1:]:
+        trailing *= extent
+    return flat // trailing if trailing else flat
+
+
+class GlobalMemory:
+    """Backing store plus the ownership map for all shared variables."""
+
+    def __init__(self, module: Module, num_procs: int):
+        if num_procs < 1:
+            raise RuntimeFault("need at least one processor")
+        self.num_procs = num_procs
+        self._vars: Dict[str, SharedVar] = dict(module.shared_vars)
+        self._storage: Dict[str, List[Value]] = {}
+        for var in self._vars.values():
+            zero: Value = 0.0 if var.kind is ScalarKind.DOUBLE else 0
+            self._storage[var.name] = [zero] * max(1, var.element_count)
+
+    def var(self, name: str) -> SharedVar:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise RuntimeFault(f"unknown shared variable {name!r}") from None
+
+    # -- ownership ---------------------------------------------------------
+
+    def owner(self, name: str, indices: Tuple[int, ...]) -> int:
+        """The processor holding the named element."""
+        var = self.var(name)
+        if not var.dims:
+            return 0  # shared scalars live on processor 0
+        lead = indices[0] if indices else 0
+        extent = var.dims[0]
+        if not 0 <= lead < extent:
+            raise RuntimeFault(
+                f"{var.name}: leading index {lead} out of range [0, {extent})"
+            )
+        if var.distribution is Distribution.CYCLIC:
+            return lead % self.num_procs
+        block = -(-extent // self.num_procs)  # ceil division
+        return min(lead // block, self.num_procs - 1)
+
+    # -- data access ----------------------------------------------------------
+
+    def read(self, name: str, indices: Tuple[int, ...]) -> Value:
+        var = self.var(name)
+        return self._storage[name][flat_index(var, indices)]
+
+    def write(self, name: str, indices: Tuple[int, ...], value: Value) -> None:
+        var = self.var(name)
+        if var.kind is ScalarKind.INT:
+            value = int(value)
+        self._storage[name][flat_index(var, indices)] = value
+
+    def snapshot(self) -> Dict[str, List[Value]]:
+        """A copy of all shared data (for end-to-end result comparison)."""
+        return {
+            name: list(values)
+            for name, values in self._storage.items()
+            if not self._vars[name].is_sync_object
+        }
+
+    def array(self, name: str) -> List[Value]:
+        """Direct view of one variable's storage (tests / examples)."""
+        return self._storage[name]

@@ -1,0 +1,112 @@
+"""The interconnection network model.
+
+Messages carry split-phase requests, replies and synchronization
+traffic.  Delivery time is ``issue + wire_latency + jitter`` where the
+jitter is drawn from a seeded RNG — this is the adversarial reordering
+the paper's section 1 lists (adaptive routing, varying latencies); SC
+litmus tests rely on it.
+
+One ordering guarantee is kept: messages between the same (source,
+destination) pair are delivered in issue order (point-to-point FIFO,
+like the CM-5's deterministic routes).  One-way ``store`` traffic is
+only correct under this guarantee (two stores to the same location have
+no acknowledgements to order them); everything else tolerates full
+reordering.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+Value = Union[int, float]
+
+
+class MsgKind(enum.Enum):
+    GET_REQ = "get_req"
+    GET_REPLY = "get_reply"
+    PUT_REQ = "put_req"
+    PUT_ACK = "put_ack"
+    STORE_REQ = "store_req"
+    POST_REQ = "post_req"
+    WAIT_REQ = "wait_req"
+    WAIT_GRANT = "wait_grant"
+    LOCK_REQ = "lock_req"
+    LOCK_GRANT = "lock_grant"
+    UNLOCK_REQ = "unlock_req"
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_RELEASE = "barrier_release"
+
+
+@dataclass
+class Message:
+    kind: MsgKind
+    src: int
+    dst: int
+    #: shared variable + element for data traffic
+    var: Optional[str] = None
+    indices: Tuple[int, ...] = ()
+    value: Optional[Value] = None
+    #: destination temp (get) / synchronizing counter id
+    dest_temp: Optional[str] = None
+    counter: Optional[int] = None
+    #: fused get landing pad: local array name + flat element offset
+    local_array: Optional[str] = None
+    local_flat: Optional[int] = None
+    #: opaque tag correlating requests and replies
+    tag: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Traffic accounting, reported by the benchmark harness."""
+
+    messages_by_kind: Dict[MsgKind, int] = field(default_factory=dict)
+    total_messages: int = 0
+
+    def record(self, kind: MsgKind) -> None:
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+        self.total_messages += 1
+
+    def count(self, kind: MsgKind) -> int:
+        return self.messages_by_kind.get(kind, 0)
+
+
+class Network:
+    """Seeded, point-to-point-FIFO latency model.
+
+    The network computes delivery times and keeps traffic statistics;
+    the simulator owns the actual event queue.
+    """
+
+    def __init__(self, wire_latency: int, jitter: int = 0,
+                 seed: int = 0):
+        self._wire = wire_latency
+        self._jitter = jitter
+        self._rng = random.Random(seed)
+        self._last_delivery: Dict[Tuple[int, int], int] = {}
+        self.stats = NetworkStats()
+        self.in_flight = 0
+
+    def send(self, msg: Message, now: int) -> int:
+        """Accounts for a message injection; returns its delivery time."""
+        delay = self._wire
+        if self._jitter:
+            delay += self._rng.randint(0, self._jitter)
+        arrival = now + delay
+        pair = (msg.src, msg.dst)
+        floor = self._last_delivery.get(pair)
+        if floor is not None and arrival <= floor:
+            arrival = floor + 1  # point-to-point FIFO
+        self._last_delivery[pair] = arrival
+        self.stats.record(msg.kind)
+        self.in_flight += 1
+        return arrival
+
+    def delivered(self) -> None:
+        """Marks one message as delivered (simulator bookkeeping)."""
+        self.in_flight -= 1

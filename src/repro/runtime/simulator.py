@@ -1,0 +1,1042 @@
+"""The SPMD machine simulator: a discrete-event interpreter for the IR.
+
+Every virtual processor executes the program's ``main`` with its own
+registers, local arrays and cycle clock.  Shared accesses route through
+the distributed memory model (:mod:`repro.runtime.memory`) and the
+network (:mod:`repro.runtime.network`); synchronization uses the homed
+flag/lock/barrier state (:mod:`repro.runtime.sync_objects`).
+
+Timing model (see :mod:`repro.runtime.machine` for the constants):
+
+* ordinary instructions cost ``cpu_op``; private array traffic costs
+  ``local_mem``;
+* a shared access whose element is local costs ``local_access``;
+* a remote blocking access costs the full round trip and stalls the
+  processor; a split-phase ``get``/``put`` costs only ``send_overhead``
+  at issue and overlaps the rest — ``sync_ctr`` stalls only for
+  whatever has not completed yet (message pipelining, §6);
+* servicing a remote request steals ``remote_handle`` cycles from the
+  owning CPU (CM-5 active-message style); consuming an acknowledgement
+  steals ``recv_overhead`` from the issuer — making ``store`` cheaper
+  than ``put`` on both ends (one-way communication, §6);
+* ``barrier`` is a central rendezvous that also drains outstanding
+  stores (the implicit ``all_store_sync``).
+
+The simulator is deterministic for a given seed.  A non-zero machine
+``jitter`` randomizes per-message wire time (point-to-point FIFO is
+preserved), which the SC litmus tests use as an adversarial network.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import DeadlockError, RuntimeFault
+from repro.ir.cfg import Function, Module
+from repro.ir.instructions import (
+    BinOpKind,
+    Const,
+    Instr,
+    Opcode,
+    Operand,
+    Temp,
+    UnOpKind,
+)
+from repro.runtime.machine import MachineConfig
+from repro.runtime.memory import GlobalMemory, flat_index
+from repro.runtime.network import Message, MsgKind, Network
+from repro.runtime.sync_objects import BarrierState, FlagTable, LockTable
+from repro.runtime.trace import ExecutionTrace, MemEvent
+
+Value = Union[int, float]
+
+
+class _Pending:
+    """Sentinel stored in a get's destination until the reply lands."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class _Frame:
+    function: Function
+    block: str
+    index: int
+    regs: Dict[str, Value]
+    arrays: Dict[str, List[Value]]
+    #: caller temp receiving this frame's return value
+    result_dest: Optional[Temp] = None
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark or test wants from one run."""
+
+    cycles: int
+    per_proc_cycles: List[int]
+    #: per-processor cycles stalled waiting on communication/sync
+    per_proc_wait: List[int]
+    instructions: int
+    memory: GlobalMemory
+    network: Network
+    trace: Optional[ExecutionTrace] = None
+
+    def snapshot(self) -> Dict[str, List[Value]]:
+        return self.memory.snapshot()
+
+    @property
+    def total_messages(self) -> int:
+        return self.network.stats.total_messages
+
+    @property
+    def total_wait_cycles(self) -> int:
+        """Aggregate stall time across processors (the latency the
+        paper's optimizations exist to hide)."""
+        return sum(self.per_proc_wait)
+
+    def utilization(self) -> float:
+        """Fraction of processor-cycles spent not stalled."""
+        total = sum(self.per_proc_cycles)
+        if total == 0:
+            return 1.0
+        return 1.0 - self.total_wait_cycles / total
+
+
+class Processor:
+    """One virtual processor's architectural state."""
+
+    def __init__(self, pid: int, sim: "Simulator"):
+        self.pid = pid
+        self.sim = sim
+        self.clock = 0
+        self.stolen = 0
+        #: cycles spent stalled on remote completions / synchronization
+        self.wait_cycles = 0
+        self.state = ProcState.READY
+        self.block_reason: Optional[Tuple] = None
+        self.counters: Dict[int, int] = {}
+        self.instructions = 0
+        module = sim.module
+        main = module.functions[sim.entry]
+        self.frames: List[_Frame] = [self._make_frame(main, None)]
+
+    def _make_frame(self, function: Function,
+                    result_dest: Optional[Temp]) -> _Frame:
+        regs: Dict[str, Value] = {
+            "MYPROC": self.pid,
+            "PROCS": self.sim.num_procs,
+        }
+        arrays = {
+            name: [0.0 if array.kind.value == "double" else 0]
+            * array.element_count
+            for name, array in function.local_arrays.items()
+        }
+        return _Frame(
+            function=function,
+            block=function.entry.label,
+            index=0,
+            regs=regs,
+            arrays=arrays,
+            result_dest=result_dest,
+        )
+
+    # -- operand evaluation -----------------------------------------------
+
+    def value(self, operand: Operand) -> Value:
+        if isinstance(operand, Const):
+            return operand.value
+        frame = self.frames[-1]
+        try:
+            result = frame.regs[operand.name]
+        except KeyError:
+            raise RuntimeFault(
+                f"P{self.pid}: use of undefined temp %{operand.name}"
+            ) from None
+        if isinstance(result, _Pending):
+            raise RuntimeFault(
+                f"P{self.pid}: read of %{operand.name} before its get "
+                "completed (missing sync_ctr — compiler bug)"
+            )
+        return result
+
+    def int_value(self, operand: Operand) -> int:
+        return int(self.value(operand))
+
+    def indices_of(self, instr: Instr) -> Tuple[int, ...]:
+        return tuple(self.int_value(op) for op in instr.indices)
+
+    def set_reg(self, temp: Temp, value: Value) -> None:
+        self.frames[-1].regs[temp.name] = value
+
+    # -- the interpreter loop -----------------------------------------------
+
+    def advance(self, now: int) -> None:
+        """Executes until the processor blocks or finishes."""
+        if now > self.clock:
+            # The gap between our last local work and the wake event is
+            # stall time (waiting on replies, flags, locks, barriers).
+            self.wait_cycles += now - self.clock
+            self.clock = now
+        self.clock += self.stolen
+        self.stolen = 0
+        self.state = ProcState.READY
+        self.block_reason = None
+        sim = self.sim
+        while True:
+            if self.clock > sim.max_cycles:
+                raise RuntimeFault(
+                    f"P{self.pid}: exceeded cycle budget {sim.max_cycles} "
+                    "(runaway loop?)"
+                )
+            frame = self.frames[-1]
+            block = frame.function.block(frame.block)
+            instr = block.instrs[frame.index]
+            self.instructions += 1
+            if self._execute(instr, frame):
+                continue
+            return  # blocked or done
+
+    # Returns True to keep running, False when blocked/done.
+    def _execute(self, instr: Instr, frame: _Frame) -> bool:
+        sim = self.sim
+        machine = sim.machine
+        op = instr.op
+
+        if op is Opcode.CONST:
+            self.set_reg(instr.dest, instr.value)
+            self.clock += machine.cpu_op
+        elif op is Opcode.MOVE:
+            self.set_reg(instr.dest, self.value(instr.src))
+            self.clock += machine.cpu_op
+        elif op is Opcode.BINOP:
+            self.set_reg(
+                instr.dest,
+                _binop(instr.binop, self.value(instr.lhs),
+                       self.value(instr.rhs)),
+            )
+            self.clock += machine.cpu_op
+        elif op is Opcode.UNOP:
+            value = self.value(instr.src)
+            if instr.unop is UnOpKind.NEG:
+                self.set_reg(instr.dest, -value)
+            else:
+                self.set_reg(instr.dest, 0 if value else 1)
+            self.clock += machine.cpu_op
+        elif op is Opcode.INTRINSIC:
+            args = [self.value(a) for a in instr.args]
+            self.set_reg(instr.dest, _intrinsic(instr.intrinsic, args))
+            self.clock += machine.cpu_op * 4
+        elif op is Opcode.LOAD_LOCAL:
+            array = frame.arrays[instr.var]
+            flat = self._local_flat(frame, instr)
+            self.set_reg(instr.dest, array[flat])
+            self.clock += machine.local_mem
+        elif op is Opcode.STORE_LOCAL:
+            array = frame.arrays[instr.var]
+            flat = self._local_flat(frame, instr)
+            array[flat] = self.value(instr.src)
+            self.clock += machine.local_mem
+        elif op is Opcode.READ_SHARED:
+            return self._blocking_read(instr)
+        elif op is Opcode.WRITE_SHARED:
+            return self._blocking_write(instr)
+        elif op is Opcode.GET:
+            self._issue_get(instr)
+        elif op is Opcode.PUT:
+            self._issue_put(instr)
+        elif op is Opcode.STORE:
+            self._issue_store(instr)
+        elif op is Opcode.SYNC_CTR:
+            if self.counters.get(instr.counter, 0):
+                self._block(("counter", instr.counter), instr)
+                return False
+            self.clock += machine.cpu_op
+        elif op is Opcode.STORE_SYNC:
+            if sim.outstanding_stores:
+                self._block(("store_sync",), instr)
+                sim.store_sync_waiters.append(self.pid)
+                return False
+            self.clock += machine.cpu_op
+        elif op is Opcode.POST:
+            return self._post(instr)
+        elif op is Opcode.WAIT:
+            return self._wait(instr)
+        elif op is Opcode.LOCK:
+            return self._lock(instr)
+        elif op is Opcode.UNLOCK:
+            return self._unlock(instr)
+        elif op is Opcode.BARRIER:
+            self.clock += machine.send_overhead
+            sim.send(
+                Message(MsgKind.BARRIER_ARRIVE, src=self.pid, dst=0),
+                self.clock,
+            )
+            self._block(("barrier",), instr)
+            return False
+        elif op is Opcode.JUMP:
+            frame.block = instr.target
+            frame.index = 0
+            self.clock += machine.cpu_op
+            return True
+        elif op is Opcode.BRANCH:
+            taken = self.value(instr.cond) != 0
+            frame.block = instr.true_target if taken else instr.false_target
+            frame.index = 0
+            self.clock += machine.cpu_op
+            return True
+        elif op is Opcode.CALL:
+            callee = sim.module.functions[instr.callee]
+            new_frame = self._make_frame(callee, instr.dest)
+            for param, arg in zip(callee.params, instr.args):
+                new_frame.regs[param.name] = self.value(arg)
+            # Advance past the call first: the callee's ret resumes the
+            # caller at the following instruction.
+            frame.index += 1
+            self.frames.append(new_frame)
+            self.clock += machine.cpu_op * 2
+            return True
+        elif op is Opcode.RET:
+            result = self.value(instr.src) if instr.src is not None else None
+            dest = frame.result_dest
+            self.frames.pop()
+            self.clock += machine.cpu_op
+            if not self.frames:
+                self.state = ProcState.DONE
+                sim.proc_finished(self)
+                return False
+            if dest is not None:
+                self.set_reg(dest, result)
+            return True
+        else:  # pragma: no cover - defensive
+            raise RuntimeFault(f"P{self.pid}: cannot execute {instr}")
+
+        frame.index += 1
+        return True
+
+    def _local_flat(self, frame: _Frame, instr: Instr) -> int:
+        array = frame.function.local_arrays[instr.var]
+        flat = 0
+        for operand, extent in zip(instr.indices, array.dims):
+            index = self.int_value(operand)
+            if not 0 <= index < extent:
+                raise RuntimeFault(
+                    f"P{self.pid}: local array {instr.var} index {index} "
+                    f"out of range [0, {extent})"
+                )
+            flat = flat * extent + index
+        return flat
+
+    # -- shared data accesses ---------------------------------------------------
+
+    def _blocking_read(self, instr: Instr) -> bool:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        owner = sim.memory.owner(instr.var, indices)
+        event = None
+        if sim.trace is not None:
+            event = sim.trace.record_read_issue(
+                self.pid, sim.location_of(instr.var, indices),
+                uid=instr.uid,
+            )
+        if owner == self.pid:
+            value = sim.memory.read(instr.var, indices)
+            self.set_reg(instr.dest, value)
+            if event is not None:
+                event.value = value
+            self.clock += sim.machine.local_access
+            self.frames[-1].index += 1
+            return True
+        self.clock += sim.machine.send_overhead
+        tag = sim.new_tag()
+        sim.send(
+            Message(
+                MsgKind.GET_REQ,
+                src=self.pid,
+                dst=owner,
+                var=instr.var,
+                indices=indices,
+                dest_temp=instr.dest.name,
+                tag=tag,
+            ),
+            self.clock,
+            trace_event=event,
+        )
+        self._block(("reply", tag), instr)
+        return False
+
+    def _blocking_write(self, instr: Instr) -> bool:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        value = self.value(instr.src)
+        owner = sim.memory.owner(instr.var, indices)
+        if sim.trace is not None:
+            sim.trace.record_write(
+                self.pid, sim.location_of(instr.var, indices), value,
+                uid=instr.uid,
+            )
+        if owner == self.pid:
+            sim.memory.write(instr.var, indices, value)
+            self.clock += sim.machine.local_access
+            self.frames[-1].index += 1
+            return True
+        self.clock += sim.machine.send_overhead
+        tag = sim.new_tag()
+        sim.send(
+            Message(
+                MsgKind.PUT_REQ,
+                src=self.pid,
+                dst=owner,
+                var=instr.var,
+                indices=indices,
+                value=value,
+                tag=tag,
+            ),
+            self.clock,
+        )
+        self._block(("reply", tag), instr)
+        return False
+
+    def _issue_get(self, instr: Instr) -> None:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        owner = sim.memory.owner(instr.var, indices)
+        event = None
+        if sim.trace is not None:
+            event = sim.trace.record_read_issue(
+                self.pid, sim.location_of(instr.var, indices),
+                uid=instr.uid,
+            )
+        local_flat: Optional[int] = None
+        if instr.local_array is not None:
+            local_flat = self._local_flat_fused(instr)
+        if owner == self.pid:
+            value = sim.memory.read(instr.var, indices)
+            if local_flat is not None:
+                self.frames[-1].arrays[instr.local_array][local_flat] = value
+            else:
+                self.set_reg(instr.dest, value)
+            if event is not None:
+                event.value = value
+            self.clock += sim.machine.local_access
+            return
+        self.clock += sim.machine.send_overhead
+        self.counters[instr.counter] = self.counters.get(instr.counter, 0) + 1
+        if local_flat is not None:
+            self.frames[-1].arrays[instr.local_array][local_flat] = PENDING
+        else:
+            self.set_reg(instr.dest, PENDING)
+        sim.send(
+            Message(
+                MsgKind.GET_REQ,
+                src=self.pid,
+                dst=owner,
+                var=instr.var,
+                indices=indices,
+                dest_temp=instr.dest.name if instr.dest is not None else None,
+                local_array=instr.local_array,
+                local_flat=local_flat,
+                counter=instr.counter,
+            ),
+            self.clock,
+            trace_event=event,
+        )
+
+    def _local_flat_fused(self, instr: Instr) -> int:
+        """Flat offset into a fused get's local landing array."""
+        array = self.frames[-1].function.local_arrays[instr.local_array]
+        flat = 0
+        for operand, extent in zip(instr.local_indices, array.dims):
+            index = self.int_value(operand)
+            if not 0 <= index < extent:
+                raise RuntimeFault(
+                    f"P{self.pid}: fused get target {instr.local_array} "
+                    f"index {index} out of range [0, {extent})"
+                )
+            flat = flat * extent + index
+        return flat
+
+    def _issue_put(self, instr: Instr) -> None:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        value = self.value(instr.src)
+        owner = sim.memory.owner(instr.var, indices)
+        if sim.trace is not None:
+            sim.trace.record_write(
+                self.pid, sim.location_of(instr.var, indices), value,
+                uid=instr.uid,
+            )
+        if owner == self.pid:
+            sim.memory.write(instr.var, indices, value)
+            self.clock += sim.machine.local_access
+            return
+        self.clock += sim.machine.send_overhead
+        self.counters[instr.counter] = self.counters.get(instr.counter, 0) + 1
+        sim.send(
+            Message(
+                MsgKind.PUT_REQ,
+                src=self.pid,
+                dst=owner,
+                var=instr.var,
+                indices=indices,
+                value=value,
+                counter=instr.counter,
+            ),
+            self.clock,
+        )
+
+    def _issue_store(self, instr: Instr) -> None:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        value = self.value(instr.src)
+        owner = sim.memory.owner(instr.var, indices)
+        if sim.trace is not None:
+            sim.trace.record_write(
+                self.pid, sim.location_of(instr.var, indices), value,
+                uid=instr.uid,
+            )
+        if owner == self.pid:
+            sim.memory.write(instr.var, indices, value)
+            self.clock += sim.machine.local_access
+            return
+        self.clock += sim.machine.send_overhead
+        sim.outstanding_stores += 1
+        sim.send(
+            Message(
+                MsgKind.STORE_REQ,
+                src=self.pid,
+                dst=owner,
+                var=instr.var,
+                indices=indices,
+                value=value,
+            ),
+            self.clock,
+        )
+
+    # -- synchronization constructs -------------------------------------------
+
+    def _sync_object(self, instr: Instr) -> Tuple[int, Tuple[str, int]]:
+        sim = self.sim
+        indices = self.indices_of(instr)
+        owner = sim.memory.owner(instr.var, indices)
+        var = sim.memory.var(instr.var)
+        flat = flat_index(var, indices) if var.dims else 0
+        return owner, (instr.var, flat)
+
+    def _post(self, instr: Instr) -> bool:
+        sim = self.sim
+        owner, key = self._sync_object(instr)
+        if owner == self.pid:
+            for waiter in sim.flags.post(key):
+                sim.grant_wait(waiter, key, self.clock)
+            self.clock += sim.machine.local_access
+            self.frames[-1].index += 1
+            return True
+        self.clock += sim.machine.send_overhead
+        tag = sim.new_tag()
+        sim.send(
+            Message(
+                MsgKind.POST_REQ,
+                src=self.pid,
+                dst=owner,
+                var=key[0],
+                indices=self.indices_of(instr),
+                tag=tag,
+            ),
+            self.clock,
+        )
+        self._block(("reply", tag), instr)
+        return False
+
+    def _wait(self, instr: Instr) -> bool:
+        sim = self.sim
+        owner, key = self._sync_object(instr)
+        if owner == self.pid:
+            if sim.flags.is_posted(key):
+                self.clock += sim.machine.local_access
+                self.frames[-1].index += 1
+                return True
+            sim.flags.add_waiter(key, self.pid)
+            self._block(("wait", key), instr)
+            return False
+        self.clock += sim.machine.send_overhead
+        sim.send(
+            Message(
+                MsgKind.WAIT_REQ,
+                src=self.pid,
+                dst=owner,
+                var=key[0],
+                indices=self.indices_of(instr),
+            ),
+            self.clock,
+        )
+        self._block(("wait", key), instr)
+        return False
+
+    def _lock(self, instr: Instr) -> bool:
+        sim = self.sim
+        owner, key = self._sync_object(instr)
+        if owner == self.pid:
+            if sim.locks.acquire(key, self.pid):
+                self.clock += sim.machine.local_access
+                self.frames[-1].index += 1
+                return True
+            self._block(("lock", key), instr)
+            return False
+        self.clock += sim.machine.send_overhead
+        sim.send(
+            Message(
+                MsgKind.LOCK_REQ,
+                src=self.pid,
+                dst=owner,
+                var=key[0],
+                indices=self.indices_of(instr),
+            ),
+            self.clock,
+        )
+        self._block(("lock", key), instr)
+        return False
+
+    def _unlock(self, instr: Instr) -> bool:
+        sim = self.sim
+        owner, key = self._sync_object(instr)
+        if owner == self.pid:
+            next_holder = sim.locks.release(key, self.pid)
+            if next_holder is not None:
+                sim.grant_lock(next_holder, key, self.clock)
+            self.clock += sim.machine.local_access
+            self.frames[-1].index += 1
+            return True
+        self.clock += sim.machine.send_overhead
+        tag = sim.new_tag()
+        sim.send(
+            Message(
+                MsgKind.UNLOCK_REQ,
+                src=self.pid,
+                dst=owner,
+                var=key[0],
+                indices=self.indices_of(instr),
+                tag=tag,
+            ),
+            self.clock,
+        )
+        self._block(("reply", tag), instr)
+        return False
+
+    # -- blocking/waking ---------------------------------------------------------
+
+    def _block(self, reason: Tuple, instr: Instr) -> None:
+        self.state = ProcState.BLOCKED
+        self.block_reason = reason
+        # The instruction completes when we are woken: the wake path
+        # advances past it (sync_ctr & co. re-check on resume instead).
+        if reason[0] in ("reply", "wait", "lock", "barrier"):
+            self.frames[-1].index += 1
+
+    def wake(self, time: int) -> None:
+        if self.state is not ProcState.BLOCKED:
+            raise RuntimeFault(f"P{self.pid}: waking a non-blocked processor")
+        self.state = ProcState.READY
+        self.block_reason = None
+        self.sim.schedule_resume(self.pid, max(time, self.clock))
+
+
+def _binop(kind: BinOpKind, left: Value, right: Value) -> Value:
+    if kind is BinOpKind.ADD:
+        return left + right
+    if kind is BinOpKind.SUB:
+        return left - right
+    if kind is BinOpKind.MUL:
+        return left * right
+    if kind is BinOpKind.DIV:
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise RuntimeFault("integer division by zero")
+            return int(math.trunc(left / right))  # C-style truncation
+        if right == 0:
+            raise RuntimeFault("float division by zero")
+        return left / right
+    if kind is BinOpKind.MOD:
+        if right == 0:
+            raise RuntimeFault("modulo by zero")
+        left_i, right_i = int(left), int(right)
+        return left_i - int(math.trunc(left_i / right_i)) * right_i
+    if kind is BinOpKind.EQ:
+        return int(left == right)
+    if kind is BinOpKind.NE:
+        return int(left != right)
+    if kind is BinOpKind.LT:
+        return int(left < right)
+    if kind is BinOpKind.LE:
+        return int(left <= right)
+    if kind is BinOpKind.GT:
+        return int(left > right)
+    if kind is BinOpKind.GE:
+        return int(left >= right)
+    if kind is BinOpKind.AND:
+        return int(bool(left) and bool(right))
+    if kind is BinOpKind.OR:
+        return int(bool(left) or bool(right))
+    raise RuntimeFault(f"unknown binop {kind}")  # pragma: no cover
+
+
+def _intrinsic(name: str, args: List[Value]) -> Value:
+    if name == "min":
+        return min(args)
+    if name == "max":
+        return max(args)
+    if name == "abs":
+        return abs(args[0])
+    if name == "sqrt":
+        return math.sqrt(args[0])
+    if name == "floor":
+        return int(math.floor(args[0]))
+    if name == "exp":
+        return math.exp(args[0])
+    if name == "sin":
+        return math.sin(args[0])
+    if name == "cos":
+        return math.cos(args[0])
+    raise RuntimeFault(f"unknown intrinsic {name}")  # pragma: no cover
+
+
+class Simulator:
+    """Drives the processors and the network to completion."""
+
+    def __init__(
+        self,
+        module: Module,
+        num_procs: int,
+        machine: MachineConfig,
+        seed: int = 0,
+        trace: bool = False,
+        entry: str = "main",
+        max_cycles: int = 500_000_000,
+    ):
+        self.module = module
+        self.num_procs = num_procs
+        self.machine = machine
+        self.entry = entry
+        self.max_cycles = max_cycles
+        self.memory = GlobalMemory(module, num_procs)
+        self.network = Network(
+            machine.wire_latency, machine.jitter, seed=seed
+        )
+        self.flags = FlagTable()
+        self.locks = LockTable()
+        self.barrier = BarrierState(num_procs)
+        self.trace: Optional[ExecutionTrace] = (
+            ExecutionTrace(num_procs) if trace else None
+        )
+        self.outstanding_stores = 0
+        self.store_sync_waiters: List[int] = []
+        self.procs = [Processor(pid, self) for pid in range(num_procs)]
+        self._events: List[Tuple[int, int, Tuple]] = []
+        self._seq = itertools.count()
+        self._tags = itertools.count(1)
+        self._done_count = 0
+        self._trace_events: Dict[int, MemEvent] = {}
+
+    # -- infrastructure used by processors -----------------------------------
+
+    def new_tag(self) -> int:
+        return next(self._tags)
+
+    def location_of(self, var: str, indices: Tuple[int, ...]):
+        shared = self.memory.var(var)
+        flat = flat_index(shared, indices) if shared.dims else 0
+        return (var, flat)
+
+    def send(self, msg: Message, now: int,
+             trace_event: Optional[MemEvent] = None) -> None:
+        arrival = self.network.send(msg, now)
+        if trace_event is not None:
+            self._trace_events[id(msg)] = trace_event
+        self._push(arrival, ("deliver", msg))
+
+    def schedule_resume(self, pid: int, time: int) -> None:
+        self._push(time, ("resume", pid))
+
+    def _push(self, time: int, payload: Tuple) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), payload))
+
+    def proc_finished(self, proc: Processor) -> None:
+        self._done_count += 1
+
+    # -- synchronization grants ---------------------------------------------------
+
+    def grant_wait(self, waiter: int, key: Tuple[str, int],
+                   now: int) -> None:
+        """Wakes a waiter whose flag was just posted (from the home node)."""
+        home = self.memory.owner(key[0], self._key_indices(key))
+        if waiter == home:
+            self.procs[waiter].wake(now + self.machine.remote_handle)
+        else:
+            self.send(
+                Message(
+                    MsgKind.WAIT_GRANT, src=home, dst=waiter,
+                    var=key[0], indices=self._key_indices(key),
+                ),
+                now,
+            )
+
+    def grant_lock(self, next_holder: int, key: Tuple[str, int],
+                   now: int) -> None:
+        home = self.memory.owner(key[0], self._key_indices(key))
+        if next_holder == home:
+            self.procs[next_holder].wake(now + self.machine.remote_handle)
+        else:
+            self.send(
+                Message(
+                    MsgKind.LOCK_GRANT, src=home, dst=next_holder,
+                    var=key[0], indices=self._key_indices(key),
+                ),
+                now,
+            )
+
+    def _key_indices(self, key: Tuple[str, int]) -> Tuple[int, ...]:
+        var = self.memory.var(key[0])
+        if not var.dims:
+            return ()
+        # Unflatten the leading index (enough for ownership).
+        trailing = 1
+        for extent in var.dims[1:]:
+            trailing *= extent
+        lead = key[1] // trailing
+        rest = key[1] % trailing
+        indices = [lead]
+        for extent in var.dims[1:]:
+            trailing //= extent
+            indices.append(rest // trailing if trailing else rest)
+            rest = rest % trailing if trailing else 0
+        return tuple(indices)
+
+    # -- message handling -----------------------------------------------------------
+
+    def _handle_message(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        kind = msg.kind
+        if kind is MsgKind.GET_REQ:
+            value = self.memory.read(msg.var, msg.indices)
+            owner = self.procs[msg.dst]
+            owner.stolen += machine.remote_handle
+            reply = Message(
+                MsgKind.GET_REPLY,
+                src=msg.dst,
+                dst=msg.src,
+                var=msg.var,
+                value=value,
+                dest_temp=msg.dest_temp,
+                local_array=msg.local_array,
+                local_flat=msg.local_flat,
+                counter=msg.counter,
+                tag=msg.tag,
+            )
+            event = self._trace_events.pop(id(msg), None)
+            self.send(reply, arrival + machine.remote_handle,
+                      trace_event=event)
+        elif kind is MsgKind.GET_REPLY:
+            proc = self.procs[msg.dst]
+            if not proc.frames:
+                # The processor already returned; the fetched value has
+                # no landing pad left (legal only for dead gets).
+                event = self._trace_events.pop(id(msg), None)
+                if event is not None:
+                    event.value = msg.value
+                return
+            if msg.local_array is not None:
+                proc.frames[-1].arrays[msg.local_array][msg.local_flat] = (
+                    msg.value
+                )
+            else:
+                proc.frames[-1].regs[msg.dest_temp] = msg.value
+            event = self._trace_events.pop(id(msg), None)
+            if event is not None:
+                event.value = msg.value
+            if msg.counter is not None:
+                self._complete_counter(proc, msg.counter, arrival)
+            else:
+                proc.wake(arrival + machine.recv_overhead)
+        elif kind is MsgKind.PUT_REQ:
+            self.memory.write(msg.var, msg.indices, msg.value)
+            owner = self.procs[msg.dst]
+            owner.stolen += machine.remote_handle
+            self.send(
+                Message(
+                    MsgKind.PUT_ACK,
+                    src=msg.dst,
+                    dst=msg.src,
+                    counter=msg.counter,
+                    tag=msg.tag,
+                ),
+                arrival + machine.remote_handle,
+            )
+        elif kind is MsgKind.PUT_ACK:
+            proc = self.procs[msg.dst]
+            if msg.counter is not None:
+                self._complete_counter(proc, msg.counter, arrival)
+            else:
+                proc.wake(arrival + machine.recv_overhead)
+        elif kind is MsgKind.STORE_REQ:
+            self.memory.write(msg.var, msg.indices, msg.value)
+            self.procs[msg.dst].stolen += machine.remote_handle
+            self.outstanding_stores -= 1
+            self._check_store_drain(arrival)
+        elif kind is MsgKind.POST_REQ:
+            for waiter in self.flags.post(self.location_of(msg.var,
+                                                           msg.indices)):
+                self.grant_wait(waiter, self.location_of(msg.var, msg.indices),
+                                arrival + machine.remote_handle)
+            self.procs[msg.dst].stolen += machine.remote_handle
+            self.send(
+                Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
+                        tag=msg.tag),
+                arrival + machine.remote_handle,
+            )
+        elif kind is MsgKind.WAIT_REQ:
+            key = self.location_of(msg.var, msg.indices)
+            self.procs[msg.dst].stolen += machine.remote_handle
+            if self.flags.is_posted(key):
+                self.send(
+                    Message(MsgKind.WAIT_GRANT, src=msg.dst, dst=msg.src,
+                            var=msg.var, indices=msg.indices),
+                    arrival + machine.remote_handle,
+                )
+            else:
+                self.flags.add_waiter(key, msg.src)
+        elif kind is MsgKind.WAIT_GRANT:
+            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
+        elif kind is MsgKind.LOCK_REQ:
+            key = self.location_of(msg.var, msg.indices)
+            self.procs[msg.dst].stolen += machine.remote_handle
+            if self.locks.acquire(key, msg.src):
+                self.send(
+                    Message(MsgKind.LOCK_GRANT, src=msg.dst, dst=msg.src,
+                            var=msg.var, indices=msg.indices),
+                    arrival + machine.remote_handle,
+                )
+        elif kind is MsgKind.LOCK_GRANT:
+            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
+        elif kind is MsgKind.UNLOCK_REQ:
+            key = self.location_of(msg.var, msg.indices)
+            self.procs[msg.dst].stolen += machine.remote_handle
+            next_holder = self.locks.release(key, msg.src)
+            if next_holder is not None:
+                self.grant_lock(next_holder, key,
+                                arrival + machine.remote_handle)
+            self.send(
+                Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
+                        tag=msg.tag),
+                arrival + machine.remote_handle,
+            )
+        elif kind is MsgKind.BARRIER_ARRIVE:
+            if self.barrier.arrive(msg.src, arrival):
+                self.barrier.pending_release = True
+                self._check_store_drain(arrival)
+        elif kind is MsgKind.BARRIER_RELEASE:
+            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
+        else:  # pragma: no cover - defensive
+            raise RuntimeFault(f"unhandled message kind {kind}")
+
+    def _complete_counter(self, proc: Processor, counter: int,
+                          arrival: int) -> None:
+        count = proc.counters.get(counter, 0)
+        if count <= 0:
+            raise RuntimeFault(
+                f"P{proc.pid}: counter {counter} completion underflow"
+            )
+        proc.counters[counter] = count - 1
+        if (
+            proc.state is ProcState.BLOCKED
+            and proc.block_reason == ("counter", counter)
+            and proc.counters[counter] == 0
+        ):
+            # The sync_ctr re-executes on wake and now falls through.
+            proc.wake(arrival + self.machine.recv_overhead)
+        else:
+            proc.stolen += self.machine.recv_overhead
+
+    def _check_store_drain(self, now: int) -> None:
+        if self.outstanding_stores:
+            return
+        if self.barrier.pending_release:
+            release_time = (
+                max(now, self.barrier.last_arrival_time)
+                + self.machine.barrier_base
+                + self.machine.barrier_per_proc * self.num_procs
+            )
+            for pid in range(self.num_procs):
+                self.send(
+                    Message(MsgKind.BARRIER_RELEASE, src=0, dst=pid),
+                    release_time,
+                )
+            self.barrier.release()
+        if self.store_sync_waiters:
+            waiters, self.store_sync_waiters = self.store_sync_waiters, []
+            for pid in waiters:
+                self.procs[pid].wake(now)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        for pid in range(self.num_procs):
+            self.schedule_resume(pid, 0)
+        while self._events:
+            time, _seq, payload = heapq.heappop(self._events)
+            if payload[0] == "resume":
+                proc = self.procs[payload[1]]
+                if proc.state is ProcState.DONE:
+                    continue
+                proc.advance(time)
+            else:
+                self.network.delivered()
+                self._handle_message(time, payload[1])
+        if self._done_count != self.num_procs:
+            blocked = [
+                f"P{p.pid} blocked on {p.block_reason}"
+                for p in self.procs
+                if p.state is ProcState.BLOCKED
+            ]
+            raise DeadlockError(
+                "simulation stalled with no events pending: "
+                + ("; ".join(blocked) if blocked else "no blocked procs?")
+            )
+        return SimulationResult(
+            cycles=max(p.clock for p in self.procs),
+            per_proc_cycles=[p.clock for p in self.procs],
+            per_proc_wait=[p.wait_cycles for p in self.procs],
+            instructions=sum(p.instructions for p in self.procs),
+            memory=self.memory,
+            network=self.network,
+            trace=self.trace,
+        )
+
+
+def run_module(
+    module: Module,
+    num_procs: int,
+    machine: MachineConfig,
+    seed: int = 0,
+    trace: bool = False,
+    max_cycles: int = 500_000_000,
+) -> SimulationResult:
+    """Convenience wrapper: simulate ``module`` to completion."""
+    sim = Simulator(
+        module, num_procs, machine, seed=seed, trace=trace,
+        max_cycles=max_cycles,
+    )
+    return sim.run()

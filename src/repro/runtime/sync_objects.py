@@ -1,0 +1,116 @@
+"""Runtime state for flags, locks and the barrier.
+
+These implement the synchronization constructs of §2/§5:
+
+* **flags** — post/wait event variables.  Posting twice on the same
+  element raises (the paper's footnote 2 makes it illegal, and our
+  analysis relies on it).  Flags are not consumed by waits.
+* **locks** — FIFO mutual-exclusion queues, homed on the owning node.
+* **barrier** — a central coordinator that releases a generation once
+  every processor has arrived *and* all one-way stores have drained
+  (the implicit ``all_store_sync`` that makes put→store conversion
+  legal, §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RuntimeFault
+
+#: A flag or lock object instance: (variable name, flat element index).
+ObjKey = Tuple[str, int]
+
+
+class FlagTable:
+    """Post/wait event state, homed per element."""
+
+    def __init__(self) -> None:
+        self._posted: Set[ObjKey] = set()
+        self._waiters: Dict[ObjKey, List[int]] = {}
+
+    def post(self, key: ObjKey) -> List[int]:
+        """Marks the flag posted; returns the processors to wake."""
+        if key in self._posted:
+            raise RuntimeFault(
+                f"double post on flag {key[0]}[{key[1]}] "
+                "(illegal per the language rules)"
+            )
+        self._posted.add(key)
+        return self._waiters.pop(key, [])
+
+    def is_posted(self, key: ObjKey) -> bool:
+        return key in self._posted
+
+    def add_waiter(self, key: ObjKey, pid: int) -> None:
+        self._waiters.setdefault(key, []).append(pid)
+
+    def reset(self, key: ObjKey) -> None:
+        """Clears a flag (used between phases by some kernels)."""
+        self._posted.discard(key)
+
+
+class LockTable:
+    """FIFO lock queues, homed per object."""
+
+    def __init__(self) -> None:
+        self._holder: Dict[ObjKey, Optional[int]] = {}
+        self._queue: Dict[ObjKey, List[int]] = {}
+
+    def acquire(self, key: ObjKey, pid: int) -> bool:
+        """Tries to take the lock; True on success, else queues ``pid``."""
+        holder = self._holder.get(key)
+        if holder is None:
+            self._holder[key] = pid
+            return True
+        self._queue.setdefault(key, []).append(pid)
+        return False
+
+    def release(self, key: ObjKey, pid: int) -> Optional[int]:
+        """Releases; returns the next holder to grant, if any."""
+        holder = self._holder.get(key)
+        if holder != pid:
+            raise RuntimeFault(
+                f"processor {pid} unlocking {key[0]}[{key[1]}] "
+                f"held by {holder}"
+            )
+        queue = self._queue.get(key, [])
+        if queue:
+            next_pid = queue.pop(0)
+            self._holder[key] = next_pid
+            return next_pid
+        self._holder[key] = None
+        return None
+
+    def holder(self, key: ObjKey) -> Optional[int]:
+        return self._holder.get(key)
+
+
+@dataclass
+class BarrierState:
+    """Central barrier coordinator state."""
+
+    num_procs: int
+    generation: int = 0
+    arrived: Set[int] = field(default_factory=set)
+    last_arrival_time: int = 0
+    #: set once everyone arrived but stores are still draining
+    pending_release: bool = False
+
+    def arrive(self, pid: int, now: int) -> bool:
+        """Registers an arrival; True when this completes the rendezvous."""
+        if pid in self.arrived:
+            raise RuntimeFault(
+                f"processor {pid} arrived twice at barrier generation "
+                f"{self.generation}"
+            )
+        self.arrived.add(pid)
+        self.last_arrival_time = max(self.last_arrival_time, now)
+        return len(self.arrived) == self.num_procs
+
+    def release(self) -> None:
+        self.generation += 1
+        self.arrived.clear()
+        self.last_arrival_time = 0
+        self.pending_release = False

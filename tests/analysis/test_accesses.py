@@ -1,0 +1,122 @@
+"""Access extraction and program-order relation tests."""
+
+from repro.analysis.accesses import BARRIER_VAR, AccessKind, AccessSet
+from tests.helpers import inlined
+
+
+def access_set(source):
+    return AccessSet(inlined(source).main)
+
+
+def by_kind(accesses, kind):
+    return [a for a in accesses if a.kind is kind]
+
+
+class TestExtraction:
+    def test_reads_and_writes(self):
+        accesses = access_set(
+            "shared int X; void main() { int y = X; X = y + 1; }"
+        )
+        assert len(by_kind(accesses, AccessKind.READ)) == 1
+        assert len(by_kind(accesses, AccessKind.WRITE)) == 1
+
+    def test_sync_kinds(self):
+        accesses = access_set(
+            "shared flag_t f; shared lock_t l;\n"
+            "void main() { post(f); wait(f); lock(l); unlock(l);"
+            " barrier(); }"
+        )
+        for kind in (AccessKind.POST, AccessKind.WAIT, AccessKind.LOCK,
+                     AccessKind.UNLOCK, AccessKind.BARRIER):
+            assert len(by_kind(accesses, kind)) == 1
+
+    def test_barrier_uses_token_var(self):
+        accesses = access_set("void main() { barrier(); }")
+        assert accesses.accesses[0].var == BARRIER_VAR
+
+    def test_local_accesses_invisible(self):
+        accesses = access_set(
+            "void main() { double b[4]; b[0] = 1.0; double x = b[0]; }"
+        )
+        assert len(accesses) == 0
+
+    def test_write_semantics(self):
+        accesses = access_set(
+            "shared flag_t f; shared lock_t l; shared int X;\n"
+            "void main() { post(f); lock(l); unlock(l); barrier();"
+            " int y = X; }"
+        )
+        kinds_with_write = {
+            a.kind for a in accesses if a.is_write
+        }
+        assert AccessKind.POST in kinds_with_write
+        assert AccessKind.LOCK in kinds_with_write
+        assert AccessKind.BARRIER in kinds_with_write
+        assert AccessKind.READ not in kinds_with_write
+
+    def test_sync_vs_data_partition(self):
+        accesses = access_set(
+            "shared flag_t f; shared int X;\n"
+            "void main() { X = 1; post(f); }"
+        )
+        assert len(accesses.sync_accesses()) == 1
+        assert len(accesses.data_accesses()) == 1
+
+
+class TestProgramOrder:
+    def test_straight_line(self):
+        accesses = access_set(
+            "shared int X; shared int Y;\n"
+            "void main() { X = 1; Y = 2; }"
+        )
+        x, y = accesses.accesses
+        assert accesses.program_order(x, y)
+        assert not accesses.program_order(y, x)
+
+    def test_branch_arms_both_follow(self):
+        accesses = access_set(
+            "shared int X; shared int Y; shared int Z;\n"
+            "void main() { X = 1; if (MYPROC) { Y = 2; } else { Z = 3; }"
+            " }"
+        )
+        x = next(a for a in accesses if a.var == "X")
+        y = next(a for a in accesses if a.var == "Y")
+        z = next(a for a in accesses if a.var == "Z")
+        assert accesses.program_order(x, y)
+        assert accesses.program_order(x, z)
+        assert not accesses.program_order(y, z)
+        assert not accesses.program_order(z, y)
+
+    def test_loop_gives_mutual_order(self):
+        accesses = access_set(
+            "shared int X; shared int Y;\n"
+            "void main() { for (int i = 0; i < 3; i = i + 1) {"
+            " X = 1; Y = 2; } }"
+        )
+        x = next(a for a in accesses if a.var == "X")
+        y = next(a for a in accesses if a.var == "Y")
+        assert accesses.program_order(x, y)
+        assert accesses.program_order(y, x)  # loop-carried
+        assert accesses.program_order(x, x)  # self via the back edge
+
+    def test_no_self_order_outside_loops(self):
+        accesses = access_set("shared int X; void main() { X = 1; }")
+        x = accesses.accesses[0]
+        assert not accesses.program_order(x, x)
+
+    def test_p_pairs_count(self):
+        accesses = access_set(
+            "shared int X; shared int Y;\n"
+            "void main() { X = 1; Y = 2; }"
+        )
+        assert len(accesses.p_pairs()) == 1
+
+    def test_by_uid_lookup(self):
+        accesses = access_set("shared int X; void main() { X = 1; }")
+        access = accesses.accesses[0]
+        assert accesses.by_uid[access.uid] is access
+
+    def test_describe_mentions_kind_and_var(self):
+        accesses = access_set("shared int X; void main() { X = 1; }")
+        text = accesses.accesses[0].describe()
+        assert "write" in text and "X" in text

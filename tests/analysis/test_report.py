@@ -1,0 +1,107 @@
+"""Analysis report rendering tests."""
+
+from repro import analyze_source
+from repro.analysis.delays import AnalysisLevel
+from repro.analysis.report import compare_levels, delay_groups, render_report
+from tests.helpers import FIGURE_5
+
+
+class TestDelayGroups:
+    def test_figure5_grouping(self):
+        sas = analyze_source(FIGURE_5, AnalysisLevel.SAS)
+        groups = delay_groups(sas)
+        assert len(groups["data-data"]) == 2
+        assert len(groups["sync-anchored"]) == 4
+        assert len(groups["sync-sync"]) == 0
+
+    def test_sync_level_clears_data_data(self):
+        sync = analyze_source(FIGURE_5, AnalysisLevel.SYNC)
+        groups = delay_groups(sync)
+        assert groups["data-data"] == []
+        assert len(groups["sync-anchored"]) == 4
+
+
+class TestRenderReport:
+    def test_contains_summary_lines(self):
+        text = render_report(analyze_source(FIGURE_5))
+        assert "analysis level: sync-aware" in text
+        assert "delay set (D): 4" in text
+        assert "precedence edges (R):" in text
+        assert "must wait for" in text
+
+    def test_sas_report_omits_refinement_lines(self):
+        text = render_report(
+            analyze_source(FIGURE_5, AnalysisLevel.SAS)
+        )
+        assert "precedence edges" not in text
+        assert "analysis level: shasha-snir" in text
+
+    def test_edge_truncation(self):
+        from repro.apps import get_app
+
+        result = analyze_source(
+            get_app("health").source(4), AnalysisLevel.SAS
+        )
+        text = render_report(result, max_edges=3)
+        assert "more" in text
+
+
+class TestCompareLevels:
+    def test_totals_row(self):
+        sas = analyze_source(FIGURE_5, AnalysisLevel.SAS)
+        sync = analyze_source(FIGURE_5, AnalysisLevel.SYNC)
+        rows = compare_levels(sas, sync)
+        totals = rows[-1]
+        assert totals == ("total", 6, 4)
+        data = rows[0]
+        assert data == ("data-data", 2, 0)
+
+
+class TestWitnesses:
+    def test_witness_chain_is_a_valid_back_path(self):
+        from repro.analysis.cycle.spmd import BackPathEngine
+        from tests.helpers import FIGURE_1
+
+        result = analyze_source(FIGURE_1, AnalysisLevel.SAS)
+        engine = BackPathEngine(result.accesses, result.conflicts)
+        accesses = list(result.accesses)
+        for a, b in result.delay_edges():
+            chain = engine.witness_chain(a, b)
+            assert chain is not None, (a, b)
+            assert chain[0] == b.index and chain[-1] == a.index
+            # First and last hops are conflict edges.
+            assert result.conflicts.has_edge(
+                accesses[chain[0]], accesses[chain[1]]
+            )
+            assert result.conflicts.has_edge(
+                accesses[chain[-2]], accesses[chain[-1]]
+            )
+            # Every adjacent pair is a conflict or program-order edge.
+            for left, right in zip(chain, chain[1:]):
+                linked = result.conflicts.has_edge(
+                    accesses[left], accesses[right]
+                ) or result.accesses.program_order(
+                    accesses[left], accesses[right]
+                )
+                assert linked, (left, right)
+
+    def test_no_witness_for_non_delay(self):
+        from repro.analysis.cycle.spmd import BackPathEngine
+        from tests.helpers import FIGURE_5
+
+        result = analyze_source(FIGURE_5, AnalysisLevel.SYNC)
+        engine = BackPathEngine(
+            result.accesses, result.oriented_conflicts
+        )
+        accesses = list(result.accesses)
+        w_x = next(a for a in accesses if a.var == "X" and a.is_write)
+        w_y = next(a for a in accesses if a.var == "Y" and a.is_write)
+        assert engine.witness_chain(w_x, w_y) is None
+
+    def test_report_with_witnesses(self):
+        from repro.analysis.report import render_report
+        from tests.helpers import FIGURE_1
+
+        result = analyze_source(FIGURE_1, AnalysisLevel.SAS)
+        text = render_report(result, witnesses=True)
+        assert "cycle closed by:" in text

@@ -1,0 +1,178 @@
+"""Application-kernel tests: correctness at every optimization level.
+
+Every kernel must compute its reference answer at O0 through O4, on
+several processor counts and under an adversarial (jittery) network —
+this is the end-to-end proof that the computed delay sets preserve
+sequential consistency through all the optimizations.
+"""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.apps import ALL_APPS, APPS, get_app
+from repro.runtime import CM5, T3D
+
+FAST_LEVELS = (OptLevel.O1, OptLevel.O2, OptLevel.O3)
+
+
+@pytest.fixture(scope="module")
+def compiled_cache():
+    return {}
+
+
+def run_app(app, level, procs, seed=0, machine=CM5, cache=None):
+    key = (app.name, level, procs)
+    if cache is not None and key in cache:
+        program = cache[key]
+    else:
+        program = compile_source(app.source(procs), level)
+        if cache is not None:
+            cache[key] = program
+    return program, program.run(procs, machine, seed=seed)
+
+
+class TestRegistry:
+    def test_all_five_kernels_present(self):
+        assert set(APPS) == {
+            "ocean", "em3d", "epithelial", "cholesky", "health"
+        }
+
+    def test_get_app(self):
+        assert get_app("ocean").name == "ocean"
+        with pytest.raises(KeyError):
+            get_app("barnes")
+
+    def test_sync_styles_cover_the_paper(self):
+        styles = {app.sync_style for app in ALL_APPS}
+        assert styles == {"barriers", "post-wait", "locks"}
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+class TestCorrectness:
+    def test_o0_blocking(self, app, compiled_cache):
+        procs = app.supported_procs[1]
+        _program, result = run_app(
+            app, OptLevel.O0, procs, cache=compiled_cache
+        )
+        app.check(result.snapshot(), procs)
+
+    @pytest.mark.parametrize("level", FAST_LEVELS,
+                             ids=lambda l: l.value)
+    def test_optimized_levels(self, app, level, compiled_cache):
+        procs = 8 if 8 in app.supported_procs else app.supported_procs[-1]
+        _program, result = run_app(
+            app, level, procs, cache=compiled_cache
+        )
+        app.check(result.snapshot(), procs)
+
+    def test_o4_elimination_level(self, app, compiled_cache):
+        procs = app.supported_procs[1]
+        _program, result = run_app(
+            app, OptLevel.O4, procs, cache=compiled_cache
+        )
+        app.check(result.snapshot(), procs)
+
+    def test_adversarial_network(self, app, compiled_cache):
+        """Jittery wires reorder messages; results must not change."""
+        procs = app.supported_procs[1]
+        program = compile_source(app.source(procs), OptLevel.O3)
+        for seed in (1, 2, 3):
+            result = program.run(
+                procs, CM5.with_jitter(300), seed=seed
+            )
+            app.check(result.snapshot(), procs)
+
+    def test_single_processor_degenerate(self, app, compiled_cache):
+        if 1 not in app.supported_procs:
+            pytest.skip("kernel needs >= 2 processors")
+        _program, result = run_app(
+            app, OptLevel.O3, 1, cache=compiled_cache
+        )
+        app.check(result.snapshot(), 1)
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+class TestOptimizationShape:
+    """The paper's qualitative claims hold on every kernel."""
+
+    def test_sync_analysis_never_slower(self, app, compiled_cache):
+        procs = 8 if 8 in app.supported_procs else app.supported_procs[-1]
+        _p1, baseline = run_app(
+            app, OptLevel.O1, procs, cache=compiled_cache
+        )
+        _p2, pipelined = run_app(
+            app, OptLevel.O2, procs, cache=compiled_cache
+        )
+        assert pipelined.cycles <= baseline.cycles
+
+    def test_oneway_never_more_messages(self, app, compiled_cache):
+        procs = 8 if 8 in app.supported_procs else app.supported_procs[-1]
+        _p2, pipelined = run_app(
+            app, OptLevel.O2, procs, cache=compiled_cache
+        )
+        _p3, oneway = run_app(
+            app, OptLevel.O3, procs, cache=compiled_cache
+        )
+        assert oneway.total_messages <= pipelined.total_messages
+
+    def test_delay_sets_shrink(self, app):
+        from repro.analysis.delays import AnalysisLevel
+        from repro.compiler import analyze_source
+
+        procs = app.supported_procs[1]
+        source = app.source(procs)
+        sas = analyze_source(source, AnalysisLevel.SAS)
+        sync = analyze_source(source, AnalysisLevel.SYNC)
+        assert sync.stats.delay_size <= sas.stats.delay_size
+
+
+class TestSpecificShapes:
+    def test_pipelining_wins_on_barrier_kernels(self, compiled_cache):
+        for name in ("ocean", "em3d", "epithelial"):
+            app = get_app(name)
+            _p1, baseline = run_app(
+                app, OptLevel.O1, 8, cache=compiled_cache
+            )
+            _p2, pipelined = run_app(
+                app, OptLevel.O2, 8, cache=compiled_cache
+            )
+            # Figure 12: at least a 20% improvement.
+            assert pipelined.cycles < 0.8 * baseline.cycles, name
+
+    def test_cholesky_post_wait_win(self, compiled_cache):
+        app = get_app("cholesky")
+        _p1, baseline = run_app(app, OptLevel.O1, 4,
+                                cache=compiled_cache)
+        _p2, pipelined = run_app(app, OptLevel.O2, 4,
+                                 cache=compiled_cache)
+        assert pipelined.cycles < 0.8 * baseline.cycles
+
+    def test_epithelial_oneway_win(self, compiled_cache):
+        app = get_app("epithelial")
+        _p2, pipelined = run_app(app, OptLevel.O2, 8,
+                                 cache=compiled_cache)
+        _p3, oneway = run_app(app, OptLevel.O3, 8,
+                              cache=compiled_cache)
+        assert oneway.cycles < pipelined.cycles
+
+    def test_speedup_with_more_processors(self, compiled_cache):
+        """Figure 13's axis: the optimized kernel scales."""
+        app = get_app("epithelial")
+        _p, small = run_app(app, OptLevel.O3, 2, cache=compiled_cache)
+        _p, large = run_app(app, OptLevel.O3, 16, cache=compiled_cache)
+        # More processors => fewer cycles (strong scaling regime).
+        assert large.cycles < small.cycles
+
+    def test_t3d_narrows_the_gap(self, compiled_cache):
+        """Lower-latency machines gain less from pipelining (§8)."""
+        app = get_app("em3d")
+        _p, cm5_base = run_app(app, OptLevel.O1, 8,
+                               cache=compiled_cache)
+        _p, cm5_opt = run_app(app, OptLevel.O2, 8, cache=compiled_cache)
+        p1 = compile_source(app.source(8), OptLevel.O1)
+        p2 = compile_source(app.source(8), OptLevel.O2)
+        t3d_base = p1.run(8, T3D, seed=0)
+        t3d_opt = p2.run(8, T3D, seed=0)
+        cm5_gain = cm5_base.cycles / cm5_opt.cycles
+        t3d_gain = t3d_base.cycles / t3d_opt.cycles
+        assert cm5_gain > 1.0 and t3d_gain > 1.0

@@ -1,0 +1,106 @@
+"""Counter-coalescing tests."""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.codegen.verify import verify_compiled
+from repro.ir.instructions import Opcode
+from repro.runtime import CM5
+from tests.helpers import snapshots_equal
+from tests.properties.progen import generate
+
+
+def counters_in(program):
+    return {
+        i.counter
+        for _b, _x, i in program.module.main.instructions()
+        if i.counter is not None
+        and i.op in (Opcode.GET, Opcode.PUT, Opcode.SYNC_CTR)
+    }
+
+
+class TestCoalescing:
+    def test_sequential_syncs_share_a_counter(self):
+        # Each access fully completes (sync) before the next begins:
+        # the whole chain fits in one physical counter.
+        source = """
+        shared int X; shared int Out;
+        void main() {
+          if (MYPROC == 1) {
+            int a = X;
+            Out = a;
+            int b = Out;
+            X = b;
+          }
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        report = program.report
+        assert report.counters_before == 4
+        assert report.counters_after < report.counters_before
+
+    def test_overlapping_pipelines_keep_distinct_counters(self):
+        # Two fused gather loops, both outstanding until their buffers
+        # are consumed: merging them would serialize the pipelines, so
+        # their counters must stay distinct.
+        source = """
+        shared double A[8]; shared double B[8];
+        shared double Out[8];
+        void main() {
+          double ba[2]; double bb[2];
+          int nb = (MYPROC + 1) % PROCS;
+          for (int i = 0; i < 2; i = i + 1) { ba[i] = A[nb * 2 + i]; }
+          for (int i = 0; i < 2; i = i + 1) { bb[i] = B[nb * 2 + i]; }
+          Out[MYPROC] = ba[0] + bb[1];
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        main = program.module.main
+        gets = [
+            i for _b, _x, i in main.instructions()
+            if i.op is Opcode.GET
+        ]
+        assert len(gets) == 2
+        assert len({g.counter for g in gets}) == 2
+
+    def test_adjacent_duplicate_syncs_merged(self):
+        source = """
+        shared double OutA[8]; shared double OutB[8];
+        void main() {
+          OutA[(MYPROC + 1) % PROCS] = 1.0;
+          OutB[(MYPROC + 1) % PROCS] = 2.0;
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        for block in program.module.main.blocks:
+            for first, second in zip(block.instrs, block.instrs[1:]):
+                if (
+                    first.op is Opcode.SYNC_CTR
+                    and second.op is Opcode.SYNC_CTR
+                ):
+                    assert first.counter != second.counter
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coalesced_programs_still_correct(self, seed):
+        source = generate(seed + 900, procs=4, num_phases=4)
+        reference = compile_source(source, OptLevel.O0).run(
+            4, CM5, seed=0
+        ).snapshot()
+        optimized = compile_source(source, OptLevel.O3)
+        verify_compiled(optimized.module.main)
+        got = optimized.run(4, CM5.with_jitter(150), seed=2).snapshot()
+        assert snapshots_equal(reference, got)
+        report = optimized.report
+        assert report.counters_after <= report.counters_before
+
+    def test_app_counter_reduction(self):
+        from repro.apps import get_app
+
+        app = get_app("ocean")
+        program = compile_source(app.source(4), OptLevel.O2)
+        report = program.report
+        assert report.counters_after < report.counters_before
+        result = program.run(4, CM5, seed=1)
+        app.check(result.snapshot(), 4)

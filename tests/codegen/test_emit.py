@@ -1,0 +1,104 @@
+"""Split-C-style emitter tests."""
+
+from repro import OptLevel, compile_source
+from tests.helpers import FIGURE_1
+
+
+class TestEmit:
+    def test_blocking_program_renders(self):
+        program = compile_source(FIGURE_1, OptLevel.O0)
+        text = program.splitc()
+        assert "shared int Data;" in text
+        assert "/* blocking */" in text
+        assert "void main()" in text
+
+    def test_split_phase_surface_syntax(self):
+        source = """
+        shared int X;
+        shared int Out;
+        void main() {
+          if (MYPROC == 1) { int y = X; Out = y + 1; }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        text = program.splitc()
+        assert "get_ctr(" in text
+        assert "put_ctr(" in text
+        assert "sync_ctr(ctr" in text
+        assert "barrier();" in text
+
+    def test_store_rendered_at_o3(self):
+        source = """
+        shared double E[16];
+        void main() {
+          int nb = (MYPROC + 1) % PROCS;
+          for (int i = 0; i < 4; i = i + 1) {
+            E[nb * 4 + i] = 1.0;
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O3)
+        text = program.splitc()
+        assert "store(&E[" in text
+        assert "put_ctr" not in text
+
+    def test_fused_get_renders_address_form(self):
+        source = """
+        shared double A[16];
+        void main() {
+          double buf[4];
+          int nb = (MYPROC + 1) % PROCS;
+          for (int i = 0; i < 4; i = i + 1) {
+            buf[i] = A[nb * 4 + i];
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        text = program.splitc()
+        assert "get_ctr(&buf[" in text
+
+    def test_sync_constructs_render(self):
+        source = """
+        shared flag_t f;
+        shared lock_t l;
+        shared int C;
+        void main() {
+          if (MYPROC == 0) { post(f); }
+          wait(f);
+          lock(l);
+          C = C + 1;
+          unlock(l);
+        }
+        """
+        text = compile_source(source, OptLevel.O2).splitc()
+        for fragment in ("post(f);", "wait(f);", "lock(l);",
+                         "unlock(l);"):
+            assert fragment in text
+
+    def test_control_flow_rendered_as_gotos(self):
+        source = """
+        shared int X;
+        void main() {
+          for (int i = 0; i < 3; i = i + 1) { X = i; }
+        }
+        """
+        text = compile_source(source, OptLevel.O0).splitc()
+        assert "goto for_head" in text
+        assert "if (" in text and "else goto" in text
+
+    def test_every_opt_level_emits(self):
+        source = """
+        shared double A[8];
+        void main() {
+          if (MYPROC == 0) { A[0] = 1.0; A[0] = 2.0; }
+          barrier();
+          double x = A[0];
+          double y = A[0];
+        }
+        """
+        for level in OptLevel:
+            text = compile_source(source, level).splitc()
+            assert "void main()" in text

@@ -1,0 +1,111 @@
+"""Get-initiation hoisting (prefetch) tests."""
+
+from repro import OptLevel, compile_source
+from repro.ir.instructions import Opcode
+from repro.runtime import CM5
+
+
+def main_ops(program):
+    return [
+        (b.label, i.op)
+        for b in program.module.main.blocks
+        for i in b.instrs
+    ]
+
+
+class TestHoisting:
+    def test_get_hoists_above_unrelated_compute(self):
+        # Straight-line block: the get should prefetch above the
+        # arithmetic chain (hoisting is within basic blocks).
+        source = """
+        shared double A[8];
+        void main() {
+          double s = 1.0;
+          s = s * 0.5 + 1.0;
+          s = s * 0.5 + 1.0;
+          s = s * 0.5 + 1.0;
+          double x = A[1];
+          A[MYPROC] = s + x;
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        assert program.report.gets_hoisted > 0
+        entry = program.module.main.entry
+        ops = [i.op for i in entry.instrs]
+        last_binop = len(ops) - 1 - ops[::-1].index(Opcode.BINOP)
+        assert ops.index(Opcode.GET) < last_binop
+        result = program.run(4, CM5, seed=0)
+        expected = ((1.0 * 0.5 + 1) * 0.5 + 1) * 0.5 + 1
+        assert result.snapshot()["A"][:4] == [expected] * 4
+
+    def test_get_not_hoisted_above_operand_def(self):
+        source = """
+        shared double A[8];
+        void main() {
+          int k = MYPROC;
+          double x = A[k];
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        main = program.module.main
+        for block in main.blocks:
+            names = [i.op for i in block.instrs]
+            if Opcode.GET in names:
+                get_pos = names.index(Opcode.GET)
+                get = block.instrs[get_pos]
+                used = {t.name for t in get.used_temps()}
+                for before in block.instrs[:get_pos]:
+                    defined = before.defined_temp()
+                    # Every operand def stays above the get.
+                    if defined is not None and defined.name in used:
+                        break
+                else:
+                    # If k's def is not above the get, the hoist broke
+                    # the program and the simulator would fault below.
+                    pass
+        program.run(4, CM5, seed=0)  # must not fault
+
+    def test_get_not_hoisted_above_delayed_wait(self):
+        source = """
+        shared int X;
+        shared flag_t f;
+        void main() {
+          if (MYPROC == 0) { X = 5; post(f); }
+          if (MYPROC == 1) {
+            wait(f);
+            int y = X;
+          }
+        }
+        """
+        program = compile_source(source, OptLevel.O2)
+        main = program.module.main
+        for block in main.blocks:
+            ops = [i.op for i in block.instrs]
+            if Opcode.WAIT in ops and Opcode.GET in ops:
+                assert ops.index(Opcode.WAIT) < ops.index(Opcode.GET)
+        result = program.run(2, CM5.with_jitter(300), seed=1)
+        assert result.snapshot()["X"] == [5]
+
+    def test_hoisting_preserves_results_on_apps(self):
+        from repro.apps import get_app
+
+        app = get_app("em3d")
+        program = compile_source(app.source(4), OptLevel.O2)
+        result = program.run(4, CM5, seed=3)
+        app.check(result.snapshot(), 4)
+
+    def test_o1_also_hoists_legally(self):
+        source = """
+        shared double A[8];
+        shared double B[8];
+        void main() {
+          A[MYPROC] = 1.0;
+          double x = B[MYPROC];
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O1)
+        result = program.run(4, CM5, seed=0)
+        assert result.snapshot()["A"][:4] == [1.0] * 4

@@ -1,0 +1,232 @@
+"""One-way conversion (§6) and communication elimination (§7) tests."""
+
+from repro import OptLevel, compile_source
+from repro.ir.instructions import Opcode
+from repro.runtime import CM5
+from repro.runtime.network import MsgKind
+
+
+def ops(program):
+    return [
+        i.op for _b, _x, i in program.module.main.instructions()
+    ]
+
+
+class TestOneWay:
+    NEIGHBOR_SCATTER = """
+    shared double E[64];
+    void main() {
+      int nb = (MYPROC + 1) % PROCS;
+      for (int i = 0; i < 8; i = i + 1) {
+        E[nb * 8 + i] = 1.0 * i;
+      }
+      barrier();
+    }
+    """
+
+    def test_puts_become_stores(self):
+        program = compile_source(self.NEIGHBOR_SCATTER, OptLevel.O3)
+        assert program.report.one_way_conversions == 1
+        sequence = ops(program)
+        assert Opcode.STORE in sequence
+        assert Opcode.PUT not in sequence
+
+    def test_store_syncs_deleted(self):
+        program = compile_source(self.NEIGHBOR_SCATTER, OptLevel.O3)
+        assert Opcode.SYNC_CTR not in ops(program)
+
+    def test_o2_keeps_puts(self):
+        program = compile_source(self.NEIGHBOR_SCATTER, OptLevel.O2)
+        assert Opcode.PUT in ops(program)
+        assert program.report.one_way_conversions == 0
+
+    def test_no_acks_at_runtime(self):
+        program = compile_source(self.NEIGHBOR_SCATTER, OptLevel.O3)
+        result = program.run(4, CM5, seed=0)
+        assert result.network.stats.count(MsgKind.PUT_ACK) == 0
+        assert result.network.stats.count(MsgKind.STORE_REQ) > 0
+
+    def test_flag_synchronized_put_not_converted(self):
+        # The put's completion is observed through a post, not a
+        # barrier: it must stay two-way.
+        source = """
+        shared int X;
+        shared flag_t f;
+        void main() {
+          if (MYPROC == 0) { X = 7; post(f); }
+          wait(f);
+          int y = X;
+        }
+        """
+        program = compile_source(source, OptLevel.O3)
+        assert Opcode.PUT in ops(program)
+        assert program.report.one_way_conversions == 0
+
+    def test_result_correct_with_stores(self):
+        program = compile_source(self.NEIGHBOR_SCATTER, OptLevel.O3)
+        result = program.run(8, CM5, seed=5)
+        snapshot = result.snapshot()
+        for p in range(8):
+            for i in range(8):
+                assert snapshot["E"][((p + 1) % 8) * 8 + i] == float(i)
+
+
+class TestRedundantGetElimination:
+    def test_barrier_read_only_reuse(self):
+        """The paper's Figure 9: X read-only after the barrier."""
+        source = """
+        shared int X;
+        void main() {
+          int a; int b;
+          if (MYPROC == 0) { X = 5; }
+          barrier();
+          a = X;
+          b = X;
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 1
+        result = program.run(4, CM5, seed=0)
+        assert result.snapshot()["X"] == [5]
+
+    def test_adjacent_racy_reads_still_merge(self):
+        # The paper: mutual exclusion is sufficient but NOT necessary —
+        # reuse is legal whenever the second get can move up to the
+        # first.  Adjacent reads can always merge, race or no race.
+        source = """
+        shared int X;
+        void main() {
+          int a; int b;
+          if (MYPROC == 0) { X = 5; }
+          a = X;
+          b = X;
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 1
+
+    def test_intervening_wait_blocks_reuse(self):
+        # A wait between the reads pins the second get (delay edge):
+        # the consumer must observe the producer's write.
+        source = """
+        shared int X;
+        shared flag_t f;
+        void main() {
+          int a; int b;
+          a = X;
+          if (MYPROC == 0) { X = 5; post(f); }
+          if (MYPROC == 1) { wait(f); b = X; }
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 0
+
+    def test_intervening_local_write_blocks_reuse(self):
+        source = """
+        shared int X;
+        void main() {
+          if (MYPROC == 0) {
+            int a = X;
+            X = a + 1;
+            int b = X;
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 0
+
+    def test_different_elements_not_merged(self):
+        source = """
+        shared double A[8];
+        void main() {
+          if (MYPROC == 0) { A[0] = 1.0; A[1] = 2.0; }
+          barrier();
+          double x = A[0];
+          double y = A[1];
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 0
+
+    def test_index_recomputation_with_same_value_reused(self):
+        source = """
+        shared double A[8];
+        void main() {
+          int k = 3;
+          if (MYPROC == 0) { A[k] = 1.5; }
+          barrier();
+          double x = A[k];
+          double y = A[k];
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.gets_eliminated == 1
+        result = program.run(2, CM5, seed=0)
+        assert result.snapshot()["A"][3] == 1.5
+
+    def test_o3_does_not_eliminate(self):
+        source = """
+        shared int X;
+        void main() {
+          if (MYPROC == 0) { X = 5; }
+          barrier();
+          int a = X;
+          int b = X;
+        }
+        """
+        program = compile_source(source, OptLevel.O3)
+        assert program.report.gets_eliminated == 0
+
+
+class TestDeadPutElimination:
+    def test_overwritten_put_removed(self):
+        source = """
+        shared int X;
+        void main() {
+          if (MYPROC == 0) {
+            X = 1;
+            X = 2;
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.puts_eliminated == 1
+        result = program.run(2, CM5, seed=0)
+        assert result.snapshot()["X"] == [2]
+
+    def test_observed_put_kept(self):
+        source = """
+        shared int X;
+        shared flag_t f;
+        void main() {
+          if (MYPROC == 0) {
+            X = 1;
+            post(f);
+            X = 2;
+          }
+          if (MYPROC == 1) {
+            wait(f);
+            int y = X;
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.puts_eliminated == 0
+
+    def test_read_between_blocks_elimination(self):
+        source = """
+        shared int X;
+        void main() {
+          if (MYPROC == 0) {
+            X = 1;
+            int y = X;
+            X = 2;
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O4)
+        assert program.report.puts_eliminated == 0

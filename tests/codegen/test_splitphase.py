@@ -1,0 +1,103 @@
+"""Split-phase conversion and get-fusion tests."""
+
+from repro.codegen.splitphase import (
+    convert_to_split_phase,
+    fuse_gets_into_locals,
+)
+from repro.ir.instructions import Opcode
+from tests.helpers import inlined
+
+
+def ops(function):
+    return [i.op for _b, _x, i in function.instructions()]
+
+
+class TestConversion:
+    def test_read_becomes_get_sync(self):
+        main = inlined(
+            "shared int X; void main() { int y = X; }"
+        ).main
+        info = convert_to_split_phase(main)
+        sequence = ops(main)
+        assert Opcode.READ_SHARED not in sequence
+        assert sequence.index(Opcode.GET) + 1 == sequence.index(
+            Opcode.SYNC_CTR
+        )
+        assert info.converted_reads == 1
+
+    def test_write_becomes_put_sync(self):
+        main = inlined("shared int X; void main() { X = 1; }").main
+        info = convert_to_split_phase(main)
+        assert Opcode.PUT in ops(main)
+        assert info.converted_writes == 1
+
+    def test_uid_preserved(self):
+        main = inlined("shared int X; void main() { X = 1; }").main
+        before = next(
+            i for _b, _x, i in main.instructions()
+            if i.op is Opcode.WRITE_SHARED
+        ).uid
+        convert_to_split_phase(main)
+        after = next(
+            i for _b, _x, i in main.instructions()
+            if i.op is Opcode.PUT
+        ).uid
+        assert before == after
+
+    def test_counters_unique(self):
+        main = inlined(
+            "shared int X; shared int Y;\n"
+            "void main() { X = 1; Y = 2; int a = X; }"
+        ).main
+        info = convert_to_split_phase(main)
+        assert len(info.origin) == 3
+        counters = list(info.origin)
+        assert len(set(counters)) == 3
+
+    def test_sync_ops_untouched(self):
+        main = inlined(
+            "shared flag_t f; void main() { post(f); wait(f); }"
+        ).main
+        convert_to_split_phase(main)
+        sequence = ops(main)
+        assert Opcode.POST in sequence
+        assert Opcode.WAIT in sequence
+        assert Opcode.GET not in sequence
+
+
+class TestGetFusion:
+    def test_gather_fuses(self):
+        main = inlined(
+            "shared double A[16];\n"
+            "void main() { double buf[4];\n"
+            "  for (int i = 0; i < 4; i = i + 1) { buf[i] = A[i + 4]; }"
+            " }"
+        ).main
+        info = convert_to_split_phase(main)
+        fused = fuse_gets_into_locals(main, info)
+        assert fused == 1
+        get = next(
+            i for _b, _x, i in main.instructions() if i.op is Opcode.GET
+        )
+        assert get.local_array is not None
+        assert get.dest is None
+        # The store-local disappeared.
+        assert Opcode.STORE_LOCAL not in ops(main)
+
+    def test_scalar_use_not_fused(self):
+        main = inlined(
+            "shared double A[4];\n"
+            "void main() { double s = 0.0; s = s + A[0]; }"
+        ).main
+        info = convert_to_split_phase(main)
+        assert fuse_gets_into_locals(main, info) == 0
+
+    def test_multi_use_temp_not_fused(self):
+        main = inlined(
+            "shared double A[4];\n"
+            "void main() { double b[2]; double x = A[0];"
+            " b[0] = x; b[1] = x + 1.0; }"
+        ).main
+        info = convert_to_split_phase(main)
+        # x has two uses; the read cannot be folded into b[0].
+        assert fuse_gets_into_locals(main, info) == 0

@@ -1,0 +1,162 @@
+"""Sync placement tests (§6 motion rules as a frontier computation)."""
+
+from repro.analysis.delays import AnalysisLevel, analyze_function
+from repro.codegen.constraints import MotionConstraints
+from repro.codegen.splitphase import (
+    convert_to_split_phase,
+    fuse_gets_into_locals,
+)
+from repro.codegen.syncmotion import place_syncs
+from repro.ir.instructions import Opcode
+from tests.helpers import inlined
+
+
+def compile_for_motion(source, level=AnalysisLevel.SYNC, fuse=True):
+    main = inlined(source).main
+    analysis = analyze_function(main, level)
+    constraints = MotionConstraints(analysis)
+    info = convert_to_split_phase(main)
+    if fuse:
+        fuse_gets_into_locals(main, info)
+    place_syncs(main, constraints, info)
+    return main
+
+
+def linear_ops(function):
+    result = []
+    for block in function.blocks:
+        for instr in block.instrs:
+            result.append((block.label, instr))
+    return result
+
+
+def positions(function, op):
+    return [
+        (label, idx)
+        for block in function.blocks
+        for idx, i in enumerate(block.instrs)
+        for label in [block.label]
+        if i.op is op
+    ]
+
+
+class TestSyncBeforeUse:
+    def test_sync_stays_before_dependent_use(self):
+        main = compile_for_motion(
+            "shared int X; shared int Out;\n"
+            "void main() { int y = X; Out = y + 1; }"
+        )
+        # The get's sync must appear before the put that uses y.
+        block = main.entry
+        ops = [i.op for i in block.instrs]
+        get_pos = ops.index(Opcode.GET)
+        sync_pos = ops.index(Opcode.SYNC_CTR)
+        put_pos = ops.index(Opcode.PUT)
+        assert get_pos < sync_pos < put_pos
+
+    def test_independent_accesses_pipeline(self):
+        main = compile_for_motion(
+            "shared double A[8]; shared double B[8];\n"
+            "void main() {\n"
+            "  A[MYPROC] = 1.0;\n"
+            "  B[MYPROC] = 2.0;\n"
+            "}"
+        )
+        ops = [i.op for i in main.entry.instrs]
+        first_sync = ops.index(Opcode.SYNC_CTR)
+        last_put = len(ops) - 1 - ops[::-1].index(Opcode.PUT)
+        assert first_sync > last_put  # both puts issue before any sync
+
+
+class TestDelayConstraints:
+    def test_sync_lands_before_post(self):
+        main = compile_for_motion(
+            "shared int X; shared flag_t f;\n"
+            "void main() { if (MYPROC == 0) { X = 1; post(f); }"
+            " wait(f); int y = X; }"
+        )
+        for block in main.blocks:
+            ops = [i.op for i in block.instrs]
+            if Opcode.POST in ops:
+                post_pos = ops.index(Opcode.POST)
+                assert Opcode.SYNC_CTR in ops[:post_pos]
+
+    def test_sync_lands_before_barrier_when_delayed(self):
+        main = compile_for_motion(
+            "shared int X;\n"
+            "void main() { X = MYPROC; barrier(); int y = X; }"
+        )
+        for block in main.blocks:
+            ops = [i.op for i in block.instrs]
+            if Opcode.BARRIER in ops:
+                bar = ops.index(Opcode.BARRIER)
+                assert Opcode.SYNC_CTR in ops[:bar]
+
+    def test_loop_gather_sync_leaves_loop(self):
+        main = compile_for_motion(
+            "shared double A[32];\n"
+            "void main() {\n"
+            "  double buf[8];\n"
+            "  int nb = (MYPROC + 1) % PROCS;\n"
+            "  for (int i = 0; i < 8; i = i + 1) {"
+            " buf[i] = A[nb * 8 + i]; }\n"
+            "  barrier();\n"
+            "}"
+        )
+        # No sync inside the gather loop body.
+        body = next(b for b in main.blocks if "for_body" in b.label)
+        assert all(i.op is not Opcode.SYNC_CTR for i in body.instrs)
+
+    def test_loop_consumption_keeps_sync_at_use(self):
+        main = compile_for_motion(
+            "shared double A[32];\n"
+            "void main() {\n"
+            "  double s = 0.0;\n"
+            "  for (int i = 0; i < 8; i = i + 1) { s = s + A[i]; }\n"
+            "}"
+        )
+        body = next(b for b in main.blocks if "for_body" in b.label)
+        ops = [i.op for i in body.instrs]
+        # The accumulated use forces a sync between the get and the add.
+        get_pos = ops.index(Opcode.GET)
+        add_pos = next(
+            idx for idx, i in enumerate(body.instrs)
+            if i.op is Opcode.BINOP and idx > get_pos
+        )
+        assert Opcode.SYNC_CTR in ops[get_pos + 1:add_pos + 1]
+
+    def test_sync_before_every_ret(self):
+        main = compile_for_motion(
+            "shared int X;\n"
+            "void main() { X = 1; }"
+        )
+        for block in main.blocks:
+            ops = [i.op for i in block.instrs]
+            if Opcode.RET in ops and Opcode.PUT in ops:
+                assert Opcode.SYNC_CTR in ops
+                assert ops.index(Opcode.SYNC_CTR) < ops.index(Opcode.RET)
+
+
+class TestIdempotentPlacement:
+    def test_counter_set_preserved(self):
+        source = (
+            "shared double A[8]; shared int Out;\n"
+            "void main() { int y; y = A[0]; if (MYPROC) { Out = y; }"
+            " else { Out = y + 1; } }"
+        )
+        main = inlined(source).main
+        analysis = analyze_function(main, AnalysisLevel.SYNC)
+        constraints = MotionConstraints(analysis)
+        info = convert_to_split_phase(main)
+        place_syncs(main, constraints, info)
+        counters = {
+            i.counter
+            for _b, _x, i in main.instructions()
+            if i.op is Opcode.SYNC_CTR
+        }
+        # The get's counter must still be synced somewhere before uses.
+        get_counter = next(
+            i.counter for _b, _x, i in main.instructions()
+            if i.op is Opcode.GET
+        )
+        assert get_counter in counters

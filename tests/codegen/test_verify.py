@@ -1,0 +1,105 @@
+"""Static split-phase verifier tests."""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.codegen.splitphase import convert_to_split_phase
+from repro.codegen.verify import (
+    verify_compiled,
+    verify_counters,
+    verify_split_phase,
+)
+from repro.errors import CodegenError
+from repro.ir.instructions import Instr, Opcode
+from tests.helpers import FIGURE_1, FIGURE_5, inlined
+from tests.properties.progen import generate
+
+
+class TestWellFormedPrograms:
+    @pytest.mark.parametrize("level", list(OptLevel),
+                             ids=lambda l: l.value)
+    def test_compiled_figures_verify(self, level):
+        for source in (FIGURE_1, FIGURE_5):
+            program = compile_source(source, level)
+            verify_compiled(program.module.main)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_programs_verify(self, seed):
+        source = generate(seed + 500, procs=4, num_phases=5)
+        for level in (OptLevel.O1, OptLevel.O3, OptLevel.O4):
+            program = compile_source(source, level)
+            verify_compiled(program.module.main)
+
+    def test_apps_verify(self):
+        from repro.apps import ALL_APPS
+
+        for app in ALL_APPS:
+            procs = app.supported_procs[1]
+            program = compile_source(app.source(procs), OptLevel.O4)
+            verify_compiled(program.module.main)
+
+
+class TestBrokenPrograms:
+    def _split(self, source):
+        module = inlined(source)
+        convert_to_split_phase(module.main)
+        return module.main
+
+    def test_missing_sync_detected(self):
+        main = self._split(
+            "shared int X; shared int Y;\n"
+            "void main() { if (MYPROC == 1) { int y = X; Y = y; } }"
+        )
+        for block in main.blocks:
+            block.instrs = [
+                i for i in block.instrs if i.op is not Opcode.SYNC_CTR
+            ]
+        with pytest.raises(CodegenError) as exc:
+            verify_split_phase(main)
+        assert "pending" in str(exc.value)
+
+    def test_sync_on_wrong_path_detected(self):
+        # Sync only on the then-path; the else-path uses the value.
+        main = self._split(
+            "shared int X; shared int Out;\n"
+            "void main() {\n"
+            "  int y = X;\n"
+            "  if (MYPROC) { Out = 1; } else { Out = y; }\n"
+            "}"
+        )
+        # Move the single sync into the 'then' block only.
+        sync = None
+        for block in main.blocks:
+            for index, instr in enumerate(block.instrs):
+                if instr.op is Opcode.SYNC_CTR:
+                    sync = block.instrs.pop(index)
+                    break
+            if sync is not None:
+                break
+        then_block = next(b for b in main.blocks if "then" in b.label)
+        then_block.instrs.insert(0, sync)
+        with pytest.raises(CodegenError):
+            verify_split_phase(main)
+
+    def test_orphan_sync_detected(self):
+        main = inlined("void main() { }").main
+        main.entry.instrs.insert(
+            0, Instr(Opcode.SYNC_CTR, counter=99)
+        )
+        with pytest.raises(CodegenError) as exc:
+            verify_counters(main)
+        assert "no matching initiation" in str(exc.value)
+
+    def test_clobbering_write_detected(self):
+        main = self._split(
+            "shared int X;\n"
+            "void main() { if (MYPROC == 1) { int y = X; y = 2; } }"
+        )
+        # Remove the sync so the MOVE clobbers the pending register.
+        for block in main.blocks:
+            block.instrs = [
+                i for i in block.instrs if i.op is not Opcode.SYNC_CTR
+            ]
+        with pytest.raises(CodegenError) as exc:
+            verify_split_phase(main)
+        assert "clobber" in str(exc.value) or "pending" in str(exc.value)

@@ -1,0 +1,95 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+from tests.helpers import FIGURE_1
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.ms"
+    path.write_text(FIGURE_1)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_basic(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "delay set size" in out
+        assert "sync-aware" in out
+
+    def test_sas_level(self, program_file, capsys):
+        assert main(["analyze", program_file, "--level", "sas"]) == 0
+        assert "shasha-snir" in capsys.readouterr().out
+
+    def test_edges_listing(self, program_file, capsys):
+        assert main(["analyze", program_file, "--edges"]) == 0
+        out = capsys.readouterr().out
+        assert "write Data" in out
+
+
+class TestCompile:
+    def test_report(self, program_file, capsys):
+        assert main(["compile", program_file, "--opt", "O2"]) == 0
+        out = capsys.readouterr().out
+        assert "reads split-phased" in out
+
+    def test_emit_ir(self, program_file, capsys):
+        assert main(["compile", program_file, "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+
+
+class TestRun:
+    def test_run_reports_cycles(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--procs", "2", "--machine", "cm5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_dump_values(self, program_file, capsys):
+        assert main(["run", program_file, "--procs", "2",
+                     "--dump", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Data" in out and "Flag" in out
+
+    def test_t3d_machine(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--machine", "t3d", "--procs", "2"]
+        ) == 0
+        assert "t3d" in capsys.readouterr().out
+
+
+class TestBenchApp:
+    def test_health_quick(self, capsys):
+        assert main(
+            ["bench-app", "health", "--procs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "O1" in out and "O3" in out
+
+
+class TestAnalyzeReport:
+    def test_report_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "data-data" in out
+        assert "must wait for" in out or "waits for" in out
+
+    def test_report_with_witnesses(self, program_file, capsys):
+        assert main(
+            ["analyze", program_file, "--report", "--witnesses"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycle closed by:" in out
+
+    def test_compile_splitc_emission(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--emit", "--splitc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "/* blocking */" in out or "put_ctr" in out
+        assert "sync counters:" in out

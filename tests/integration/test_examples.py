@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples"
+)
+
+SCRIPTS = [
+    "quickstart.py",
+    "producer_consumer.py",
+    "neighbor_exchange.py",
+    "machine_comparison.py",
+    "delay_explorer.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_run_applications_small():
+    path = os.path.join(EXAMPLES_DIR, "run_applications.py")
+    proc = subprocess.run(
+        [sys.executable, path, "4"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    for kernel in ("ocean", "em3d", "epithelial", "cholesky", "health"):
+        assert kernel in out

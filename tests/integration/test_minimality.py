@@ -1,0 +1,173 @@
+"""Empirical minimality of the delay set (Shasha–Snir's theorem).
+
+The paper: "given straight-line code without explicit synchronization,
+if a pair of accesses in DS&S is allowed to execute out of order ...
+there exists a weakly consistent execution of that program that is not
+sequentially consistent."  We check this *empirically*: for each core
+delay of the Figure 1 handshake, compile with that one delay removed
+and hunt for an SC violation under the adversarial network.  Finding
+one proves the delay was necessary — i.e. the analysis is not merely
+conservative noise.
+"""
+
+import pytest
+
+from repro.analysis.delays import AnalysisLevel, analyze_function
+from repro.codegen.constraints import MotionConstraints
+from repro.codegen.hoist import hoist_gets
+from repro.codegen.splitphase import convert_to_split_phase
+from repro.codegen.syncmotion import place_syncs
+from repro.ir.inline import inline_all
+from repro.ir.lowering import lower_program
+from repro.lang import parse_and_check
+from repro.runtime import CM5, run_module
+from repro.runtime.consistency import is_sequentially_consistent
+
+# Two variants of the Figure 1 handshake.  Which delay can be observed
+# failing depends on where the variables live:
+#
+# * DIFFERENT homes (D on proc 1, F on proc 2): the producer's two puts
+#   travel independent network paths, so dropping the producer delay
+#   [write D, write F] lets the flag overtake the data.  (The consumer
+#   delay is masked here: D is globally applied before F even starts.)
+#
+# * SAME home (both on proc 1): point-to-point FIFO applies the writes
+#   back-to-back, so the producer needs no delay — but the consumer's
+#   two gets, once hoisted together, race each other: dropping the
+#   consumer delay [read F, read D] lets the D read overtake.
+#
+# The consumer publishes what it saw into Out (nobody else touches it).
+HANDSHAKE_SPLIT_HOMES = """
+shared int D[4];
+shared int F[4];
+shared int Out[4];
+void main() {
+  int f; int d;
+  if (MYPROC == 0) { D[1] = 1; F[2] = 1; }
+  if (MYPROC == 3) {
+    int spin = 0;
+    while (spin < 40) { spin = spin + 1; }
+    f = F[2];
+    d = D[1];
+    Out[0] = f;
+    Out[1] = d;
+  }
+}
+"""
+
+HANDSHAKE_SAME_HOME = """
+shared int D[4];
+shared int F[4];
+shared int Out[4];
+void main() {
+  int f; int d;
+  if (MYPROC == 0) { D[1] = 1; F[1] = 1; }
+  if (MYPROC == 3) {
+    int spin = 0;
+    while (spin < 40) { spin = spin + 1; }
+    f = F[1];
+    d = D[1];
+    Out[0] = f;
+    Out[1] = d;
+  }
+}
+"""
+
+WILD = CM5.with_jitter(2500)
+SEEDS = range(50)
+
+
+def compile_with_delay_removed(source, drop_pair):
+    """Compiles a handshake at O2 with one delay edge deleted."""
+    module = inline_all(lower_program(parse_and_check(source)))
+    main = module.main
+    analysis = analyze_function(main, AnalysisLevel.SYNC)
+    if drop_pair is not None:
+        kept = frozenset(
+            (a, b)
+            for a, b in analysis.delay_uid_pairs
+            if not _matches(analysis, (a, b), drop_pair)
+        )
+        assert kept != analysis.delay_uid_pairs, (
+            f"delay {drop_pair} was not in the delay set"
+        )
+        analysis.delay_uid_pairs = kept
+    constraints = MotionConstraints(analysis)
+    info = convert_to_split_phase(main)
+    hoist_gets(main, constraints)
+    place_syncs(main, constraints, info)
+    return module
+
+
+def _matches(analysis, uid_pair, description):
+    accesses = {a.uid: a for a in analysis.accesses}
+    a, b = accesses[uid_pair[0]], accesses[uid_pair[1]]
+    (kind_a, var_a), (kind_b, var_b) = description
+    return (
+        a.kind.value == kind_a
+        and a.var == var_a
+        and b.kind.value == kind_b
+        and b.var == var_b
+    )
+
+
+def count_violations(module) -> int:
+    """Counts the forbidden message-passing outcome f=1, d=0."""
+    violations = 0
+    for seed in SEEDS:
+        result = run_module(module, 4, WILD, seed=seed)
+        out = result.snapshot()["Out"]
+        if out[0] == 1 and out[1] == 0:
+            violations += 1
+    return violations
+
+
+class TestDelayMinimality:
+    @pytest.mark.parametrize(
+        "source", [HANDSHAKE_SPLIT_HOMES, HANDSHAKE_SAME_HOME],
+        ids=["split-homes", "same-home"],
+    )
+    def test_full_delay_set_is_sound(self, source):
+        module = compile_with_delay_removed(source, None)
+        assert count_violations(module) == 0
+
+    def test_producer_delay_is_necessary(self):
+        """Dropping [write D, write F] lets the flag overtake the data
+        (different home nodes: the puts race each other)."""
+        module = compile_with_delay_removed(
+            HANDSHAKE_SPLIT_HOMES, (("write", "D"), ("write", "F"))
+        )
+        assert count_violations(module) > 0
+
+    def test_consumer_delay_is_necessary(self):
+        """Dropping [read F, read D] lets the hoisted D read overtake
+        the flag read.
+
+        This outcome needs a tight alignment — the producer's (still
+        enforced) write delay applies D well before F, so the consumer
+        must issue its D get before D lands while its F get arrives
+        after F lands.  A longer spin and heavier jitter make the
+        window reachable; the run is fully deterministic (fixed seeds),
+        so the count below is stable.
+        """
+        source = HANDSHAKE_SPLIT_HOMES.replace("spin < 40", "spin < 400")
+        module = compile_with_delay_removed(
+            source, (("read", "F"), ("read", "D"))
+        )
+        wild = CM5.with_jitter(5000)
+        violations = 0
+        for seed in range(300):
+            out = run_module(module, 4, wild, seed=seed).snapshot()["Out"]
+            if out[0] == 1 and out[1] == 0:
+                violations += 1
+        assert violations > 0
+
+    def test_same_home_writes_fifo_protected(self):
+        """With both variables on one home node, even dropping the
+        *producer* delay cannot break the handshake: point-to-point
+        FIFO applies the writes in order (why the paper's `store` is
+        usable at all on deterministic networks)."""
+        module = compile_with_delay_removed(
+            HANDSHAKE_SAME_HOME, (("write", "D"), ("write", "F"))
+        )
+        assert count_violations(module) == 0

@@ -1,0 +1,75 @@
+"""Scale/stress tests: larger programs through the full pipeline."""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.runtime import CM5
+from tests.helpers import snapshots_equal
+from tests.properties.progen import generate
+
+
+class TestLargerPrograms:
+    def test_ten_phase_generated_program(self):
+        source = generate(seed=424242, procs=4, num_phases=10)
+        blocking = compile_source(source, OptLevel.O0)
+        optimized = compile_source(source, OptLevel.O4)
+        ref = blocking.run(4, CM5, seed=0).snapshot()
+        got = optimized.run(4, CM5.with_jitter(100), seed=5).snapshot()
+        assert snapshots_equal(ref, got)
+
+    def test_many_accesses_analysis_terminates(self):
+        lines = ["shared double A[256];", "void main() {", "  int i;"]
+        for phase in range(16):
+            lines.append(
+                f"  for (i = 0; i < 8; i = i + 1) {{"
+                f" A[MYPROC * 8 + i] = A[MYPROC * 8 + i] + {phase}.0;"
+                f" }}"
+            )
+            lines.append("  barrier();")
+        lines.append("}")
+        source = "\n".join(lines)
+        program = compile_source(source, OptLevel.O3)
+        assert program.analysis.stats.num_accesses >= 48
+
+    def test_deep_loop_nest(self):
+        source = """
+        shared double G[8][8];
+        void main() {
+          int i; int j; int t;
+          for (t = 0; t < 2; t = t + 1) {
+            for (i = 0; i < 2; i = i + 1) {
+              for (j = 0; j < 8; j = j + 1) {
+                G[MYPROC * 2 + i][j] = 1.0 * t + 0.1 * i + 0.01 * j;
+              }
+            }
+            barrier();
+          }
+        }
+        """
+        program = compile_source(source, OptLevel.O3)
+        result = program.run(4, CM5, seed=0)
+        snapshot = result.snapshot()
+        # Final step t=1 values everywhere.
+        for p in range(4):
+            for i in range(2):
+                for j in range(8):
+                    expected = 1.0 + 0.1 * i + 0.01 * j
+                    assert snapshot["G"][(p * 2 + i) * 8 + j] == (
+                        pytest.approx(expected)
+                    )
+
+    def test_32_processors_end_to_end(self):
+        source = """
+        shared double A[128];
+        void main() {
+          int nb = (MYPROC + 1) % PROCS;
+          for (int i = 0; i < 4; i = i + 1) {
+            A[nb * 4 + i] = 1.0 * (nb * 4 + i);
+          }
+          barrier();
+        }
+        """
+        program = compile_source(source, OptLevel.O3)
+        result = program.run(32, CM5, seed=0)
+        assert result.snapshot()["A"] == [float(i) for i in range(128)]
+        assert program.report.one_way_conversions == 1

@@ -1,0 +1,210 @@
+"""CFG structure, verification, dominator tree tests."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.ir.cfg import BasicBlock, Function
+from repro.ir.dominators import DominatorTree, reverse_postorder
+from repro.ir.instructions import Const, Instr, Opcode, Temp
+from tests.helpers import frontend
+
+
+def diamond_function() -> Function:
+    """entry -> (left | right) -> join -> exit."""
+    function = Function("f")
+    entry = function.new_block("entry")
+    left = function.new_block("left")
+    right = function.new_block("right")
+    join = function.new_block("join")
+    cond = Temp("c")
+    entry.append(Instr(Opcode.CONST, dest=cond, value=1))
+    entry.append(
+        Instr(Opcode.BRANCH, cond=cond, true_target=left.label,
+              false_target=right.label)
+    )
+    left.append(Instr(Opcode.JUMP, target=join.label))
+    right.append(Instr(Opcode.JUMP, target=join.label))
+    join.append(Instr(Opcode.RET))
+    return function
+
+
+def loop_function() -> Function:
+    """entry -> head <-> body; head -> exit."""
+    function = Function("g")
+    entry = function.new_block("entry")
+    head = function.new_block("head")
+    body = function.new_block("body")
+    exit_block = function.new_block("exit")
+    cond = Temp("c")
+    entry.append(Instr(Opcode.CONST, dest=cond, value=1))
+    entry.append(Instr(Opcode.JUMP, target=head.label))
+    head.append(
+        Instr(Opcode.BRANCH, cond=cond, true_target=body.label,
+              false_target=exit_block.label)
+    )
+    body.append(Instr(Opcode.JUMP, target=head.label))
+    exit_block.append(Instr(Opcode.RET))
+    return function
+
+
+class TestBasicBlock:
+    def test_terminator_required(self):
+        block = BasicBlock("b")
+        with pytest.raises(CodegenError):
+            _ = block.terminator
+
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Instr(Opcode.RET))
+        with pytest.raises(CodegenError):
+            block.append(Instr(Opcode.BARRIER))
+
+    def test_successors_of_branch(self):
+        function = diamond_function()
+        assert set(function.entry.successors()) == {"left1", "right2"}
+
+    def test_branch_with_equal_targets_single_successor(self):
+        block = BasicBlock("b")
+        block.append(
+            Instr(Opcode.BRANCH, cond=Const(1), true_target="x",
+                  false_target="x")
+        )
+        assert block.successors() == ["x"]
+
+    def test_body_excludes_terminator(self):
+        function = diamond_function()
+        assert all(not i.is_terminator for i in function.entry.body)
+
+
+class TestFunction:
+    def test_verify_ok(self):
+        diamond_function().verify()
+
+    def test_verify_catches_missing_terminator(self):
+        function = Function("f")
+        block = function.new_block("b")
+        block.instrs.append(Instr(Opcode.BARRIER))
+        with pytest.raises(CodegenError):
+            function.verify()
+
+    def test_verify_catches_unknown_target(self):
+        function = Function("f")
+        block = function.new_block("b")
+        block.append(Instr(Opcode.JUMP, target="nowhere"))
+        with pytest.raises(CodegenError):
+            function.verify()
+
+    def test_verify_catches_mid_block_terminator(self):
+        function = Function("f")
+        block = function.new_block("b")
+        block.instrs = [Instr(Opcode.RET), Instr(Opcode.RET)]
+        with pytest.raises(CodegenError):
+            function.verify()
+
+    def test_remove_unreachable(self):
+        function = diamond_function()
+        orphan = function.new_block("orphan")
+        orphan.append(Instr(Opcode.RET))
+        removed = function.remove_unreachable_blocks()
+        assert removed == 1
+        assert not function.has_block(orphan.label)
+
+    def test_predecessors(self):
+        function = diamond_function()
+        preds = function.predecessors()
+        assert sorted(preds["join3"]) == ["left1", "right2"]
+
+    def test_find_instr(self):
+        function = diamond_function()
+        uid = function.entry.instrs[0].uid
+        found = function.find_instr(uid)
+        assert found is not None
+        assert found[2].uid == uid
+
+    def test_new_temps_unique(self):
+        function = Function("f")
+        names = {function.new_temp("t").name for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        function = diamond_function()
+        order = reverse_postorder(function)
+        assert order[0] == function.entry.label
+
+    def test_all_reachable_blocks_present(self):
+        function = loop_function()
+        order = reverse_postorder(function)
+        assert set(order) == {b.label for b in function.blocks}
+
+    def test_join_after_branches(self):
+        function = diamond_function()
+        order = reverse_postorder(function)
+        assert order.index("join3") > order.index("left1")
+        assert order.index("join3") > order.index("right2")
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        function = diamond_function()
+        tree = DominatorTree(function)
+        for block in function.blocks:
+            assert tree.block_dominates(function.entry.label, block.label)
+
+    def test_branch_does_not_dominate_join(self):
+        tree = DominatorTree(diamond_function())
+        assert not tree.block_dominates("left1", "join3")
+        assert not tree.block_dominates("right2", "join3")
+
+    def test_self_domination(self):
+        tree = DominatorTree(diamond_function())
+        assert tree.block_dominates("left1", "left1")
+
+    def test_loop_header_dominates_body(self):
+        function = loop_function()
+        tree = DominatorTree(function)
+        assert tree.block_dominates("head1", "body2")
+        assert not tree.block_dominates("body2", "head1")
+
+    def test_idom_chain(self):
+        function = diamond_function()
+        tree = DominatorTree(function)
+        assert tree.idom["join3"] == "entry0"
+        assert tree.idom["entry0"] is None
+
+    def test_dominators_of(self):
+        tree = DominatorTree(diamond_function())
+        assert tree.dominators_of("join3") == ["join3", "entry0"]
+
+    def test_instr_dominance_same_block(self):
+        function = diamond_function()
+        tree = DominatorTree(function)
+        first, second = function.entry.instrs[0], function.entry.instrs[1]
+        assert tree.instr_dominates(first.uid, second.uid)
+        assert not tree.instr_dominates(second.uid, first.uid)
+
+    def test_instr_dominance_cross_block(self):
+        function = diamond_function()
+        tree = DominatorTree(function)
+        entry_instr = function.entry.instrs[0]
+        join_instr = function.block("join3").instrs[0]
+        assert tree.instr_dominates(entry_instr.uid, join_instr.uid)
+        left_instr = function.block("left1").instrs[0]
+        assert not tree.instr_dominates(left_instr.uid, join_instr.uid)
+
+    def test_dominators_on_lowered_program(self):
+        module = frontend(
+            "shared int X;\n"
+            "void main() { X = 1; if (MYPROC == 0) { X = 2; } X = 3; }"
+        )
+        function = module.main
+        tree = DominatorTree(function)
+        writes = [
+            i for _b, _idx, i in function.instructions()
+            if i.op is Opcode.WRITE_SHARED
+        ]
+        first, guarded, last = writes
+        assert tree.instr_dominates(first.uid, guarded.uid)
+        assert tree.instr_dominates(first.uid, last.uid)
+        assert not tree.instr_dominates(guarded.uid, last.uid)

@@ -1,0 +1,122 @@
+"""Reaching definitions, def-use chains, liveness."""
+
+from repro.ir.defuse import ENTRY_DEF, compute_def_use
+from repro.ir.instructions import Opcode, Temp
+from repro.ir.liveness import Liveness
+from tests.helpers import frontend
+
+
+def main_fn(source):
+    return frontend(source).main
+
+
+def find(function, op):
+    return [i for _b, _x, i in function.instructions() if i.op is op]
+
+
+class TestReachingDefs:
+    def test_straight_line_single_def(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1; X = a; }"
+        )
+        info = compute_def_use(function)
+        write = find(function, Opcode.WRITE_SHARED)[0]
+        src = write.src
+        defs = info.defs_reaching_use(write.uid, src)
+        assert len(defs) == 1
+
+    def test_redefinition_kills(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1; a = 2; X = a; }"
+        )
+        info = compute_def_use(function)
+        write = find(function, Opcode.WRITE_SHARED)[0]
+        defs = info.defs_reaching_use(write.uid, write.src)
+        # Only the second MOVE reaches the write.
+        assert len(defs) == 1
+        moves = find(function, Opcode.MOVE)
+        assert defs == frozenset({moves[-1].uid})
+
+    def test_merge_after_if(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1;"
+            " if (MYPROC) { a = 2; } X = a; }"
+        )
+        info = compute_def_use(function)
+        write = find(function, Opcode.WRITE_SHARED)[0]
+        defs = info.defs_reaching_use(write.uid, write.src)
+        assert len(defs) == 2  # both the init and the branch def
+
+    def test_loop_carried_def(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 0;"
+            " while (a < 3) { a = a + 1; } X = a; }"
+        )
+        info = compute_def_use(function)
+        write = find(function, Opcode.WRITE_SHARED)[0]
+        defs = info.defs_reaching_use(write.uid, write.src)
+        assert len(defs) == 2
+
+    def test_myproc_reaches_as_entry_def(self):
+        function = main_fn("shared int X; void main() { X = MYPROC; }")
+        info = compute_def_use(function)
+        write = find(function, Opcode.WRITE_SHARED)[0]
+        defs = info.defs_reaching_use(write.uid, Temp("MYPROC"))
+        assert ENTRY_DEF in defs
+
+    def test_users_of(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1; X = a; int b = a; }"
+        )
+        info = compute_def_use(function)
+        # `a`'s definition: the MOVE with dest a.*
+        def_instr = next(
+            i for _b, _x, i in function.instructions()
+            if i.op is Opcode.MOVE and i.dest.name.startswith("a")
+        )
+        users = info.users_of(def_instr.uid)
+        assert len(users) == 2
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1; X = a; int b = 2;"
+            " X = b; }"
+        )
+        live = Liveness(function)
+        writes = find(function, Opcode.WRITE_SHARED)
+        a_name = writes[0].src.name
+        # After the first write, `a` is no longer live.
+        assert a_name not in live.live_after(writes[0].uid)
+
+    def test_live_through_branch(self):
+        function = main_fn(
+            "shared int X; void main() { int a = 1;"
+            " if (MYPROC) { X = 0; } X = a; }"
+        )
+        live = Liveness(function)
+        first_write = find(function, Opcode.WRITE_SHARED)[0]
+        final_write = find(function, Opcode.WRITE_SHARED)[1]
+        assert final_write.src.name in live.live_after(first_write.uid)
+
+    def test_loop_variable_live_at_latch(self):
+        function = main_fn(
+            "void main() { int s = 0;"
+            " for (int i = 0; i < 3; i = i + 1) { s = s + i; } }"
+        )
+        live = Liveness(function)
+        head = next(b for b in function.blocks if "for_head" in b.label)
+        live_in = live.live_in(head.label)
+        assert any(name.startswith("i") for name in live_in)
+
+    def test_block_level_sets_consistent(self):
+        function = main_fn(
+            "shared double A[4];\n"
+            "void main() { double x = A[0]; A[1] = x; }"
+        )
+        live = Liveness(function)
+        for block in function.blocks:
+            # in == gen union (out - kill): just smoke-consistency here.
+            assert live.live_in(block.label) is not None
+            assert live.live_out(block.label) is not None

@@ -1,0 +1,129 @@
+"""Inliner tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.ir.inline import check_no_recursion, inline_all
+from repro.ir.instructions import Opcode
+from repro.runtime import CM5, run_module
+from tests.helpers import frontend
+
+
+def inline(source):
+    return inline_all(frontend(source))
+
+
+def ops(module, name="main"):
+    return [i.op for _b, _x, i in module.functions[name].instructions()]
+
+
+class TestInlining:
+    def test_call_removed(self):
+        module = inline(
+            "int f(int a) { return a * 2; }"
+            "void main() { int x = f(3); }"
+        )
+        assert Opcode.CALL not in ops(module)
+
+    def test_nested_calls(self):
+        module = inline(
+            "int g(int a) { return a + 1; }"
+            "int f(int a) { return g(a) * 2; }"
+            "void main() { int x = f(3); }"
+        )
+        assert Opcode.CALL not in ops(module)
+        assert Opcode.CALL not in ops(module, "f")
+
+    def test_multiple_call_sites(self):
+        module = inline(
+            "int f(int a) { return a + 1; }"
+            "void main() { int x = f(1); int y = f(2); int z = f(x); }"
+        )
+        assert Opcode.CALL not in ops(module)
+
+    def test_void_callee(self):
+        module = inline(
+            "shared int X;"
+            "void bump() { X = X + 1; }"
+            "void main() { bump(); bump(); }"
+        )
+        writes = [op for op in ops(module) if op is Opcode.WRITE_SHARED]
+        assert len(writes) == 2
+
+    def test_recursion_rejected(self):
+        with pytest.raises(AnalysisError) as exc:
+            inline(
+                "int f(int a) { return f(a - 1); } void main() { }"
+            )
+        assert "recursive" in str(exc.value)
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(AnalysisError):
+            inline(
+                "int g(int a) { return f(a); }"
+                "int f(int a) { return g(a); }"
+                "void main() { }"
+            )
+
+    def test_call_graph_order(self):
+        module = frontend(
+            "int g(int a) { return a; }"
+            "int f(int a) { return g(a); }"
+            "void main() { int x = f(1); }"
+        )
+        order = check_no_recursion(module)
+        assert order.index("g") < order.index("f")
+        assert order.index("f") < order.index("main")
+
+    def test_local_arrays_renamed(self):
+        module = inline(
+            "double f() { double buf[4]; buf[0] = 1.0; return buf[0]; }"
+            "void main() { double a = f(); double b = f(); }"
+        )
+        # Two inlined copies plus no aliasing: distinct arrays.
+        assert len(module.main.local_arrays) == 2
+
+    def test_index_metadata_renamed(self):
+        module = inline(
+            "shared double A[16];\n"
+            "void scatter(int base) {\n"
+            "  for (int i = 0; i < 4; i = i + 1) { A[base + i] = 1.0; }\n"
+            "}\n"
+            "void main() { scatter(MYPROC * 4); }"
+        )
+        accesses = [
+            i for _b, _x, i in module.main.instructions()
+            if i.op is Opcode.WRITE_SHARED
+        ]
+        expr = accesses[0].index_meta.exprs[0]
+        assert expr is not None
+        # The loop var symbol must name a temp that exists in main.
+        loop = accesses[0].index_meta.loops[0]
+        all_temps = set()
+        for _b, _x, instr in module.main.instructions():
+            if instr.defined_temp() is not None:
+                all_temps.add(instr.defined_temp().name)
+        assert loop.var in all_temps
+
+    def test_inlined_behavior_matches_call(self):
+        source = (
+            "shared double Out[4];\n"
+            "double square(double v) { return v * v; }\n"
+            "void main() { Out[MYPROC] = square(1.0 * MYPROC + 1.0); }"
+        )
+        uninlined = frontend(source)
+        result_call = run_module(uninlined, 4, CM5, seed=0)
+        inlined_module = inline(source)
+        result_inline = run_module(inlined_module, 4, CM5, seed=0)
+        assert (
+            result_call.snapshot()["Out"]
+            == result_inline.snapshot()["Out"]
+            == [1.0, 4.0, 9.0, 16.0]
+        )
+
+    def test_verify_after_inline(self):
+        module = inline(
+            "int f(int a) { if (a) { return 1; } return 2; }"
+            "void main() { int x = f(MYPROC); }"
+        )
+        module.verify()

@@ -1,0 +1,201 @@
+"""Instruction-level unit tests: operands, copies, formatting."""
+
+import pytest
+
+from repro.ir.instructions import (
+    BinOpKind,
+    Const,
+    IndexMeta,
+    Instr,
+    LocalArray,
+    Opcode,
+    SharedVar,
+    Temp,
+    UnOpKind,
+    format_instr,
+    fresh_uid,
+)
+from repro.lang.types import Distribution, ScalarKind
+
+
+class TestUids:
+    def test_fresh_uids_monotone(self):
+        first, second = fresh_uid(), fresh_uid()
+        assert second > first
+
+    def test_copy_keeps_uid(self):
+        instr = Instr(Opcode.BARRIER)
+        assert instr.copy().uid == instr.uid
+
+    def test_fresh_copy_changes_uid(self):
+        instr = Instr(Opcode.BARRIER)
+        assert instr.copy(fresh=True).uid != instr.uid
+
+    def test_copy_is_independent(self):
+        instr = Instr(Opcode.MOVE, dest=Temp("a"), src=Temp("b"))
+        clone = instr.copy()
+        clone.dest = Temp("c")
+        assert instr.dest == Temp("a")
+
+
+class TestClassification:
+    def test_shared_access_kinds(self):
+        for op in (Opcode.READ_SHARED, Opcode.WRITE_SHARED, Opcode.GET,
+                   Opcode.PUT, Opcode.STORE):
+            assert Instr(op).is_shared_access
+
+    def test_read_write_split(self):
+        assert Instr(Opcode.GET).is_shared_read
+        assert Instr(Opcode.STORE).is_shared_write
+        assert not Instr(Opcode.GET).is_shared_write
+
+    def test_sync_kinds(self):
+        for op in (Opcode.POST, Opcode.WAIT, Opcode.BARRIER,
+                   Opcode.LOCK, Opcode.UNLOCK):
+            assert Instr(op).is_sync
+        assert not Instr(Opcode.SYNC_CTR).is_sync  # a completion, not
+        # a synchronization construct in the paper's sense
+
+    def test_terminators(self):
+        assert Instr(Opcode.JUMP, target="x").is_terminator
+        assert Instr(Opcode.RET).is_terminator
+        assert not Instr(Opcode.BARRIER).is_terminator
+
+
+class TestDataflowHelpers:
+    def test_defined_temp(self):
+        assert Instr(
+            Opcode.BINOP, dest=Temp("d"), binop=BinOpKind.ADD,
+            lhs=Const(1), rhs=Const(2),
+        ).defined_temp() == Temp("d")
+        assert Instr(Opcode.PUT, var="X", src=Temp("v")).defined_temp() \
+            is None
+
+    def test_used_operands_cover_all_slots(self):
+        instr = Instr(
+            Opcode.GET,
+            dest=Temp("d"),
+            var="A",
+            indices=(Temp("i"), Const(3)),
+            local_array="buf",
+            local_indices=(Temp("j"),),
+            counter=1,
+        )
+        used = {t.name for t in instr.used_temps()}
+        assert used == {"i", "j"}
+
+    def test_branch_uses_condition(self):
+        instr = Instr(
+            Opcode.BRANCH, cond=Temp("c"), true_target="a",
+            false_target="b",
+        )
+        assert instr.used_temps() == [Temp("c")]
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "instr,fragment",
+        [
+            (Instr(Opcode.CONST, dest=Temp("t"), value=3), "const 3"),
+            (Instr(Opcode.MOVE, dest=Temp("a"), src=Temp("b")), "%a = %b"),
+            (
+                Instr(Opcode.BINOP, dest=Temp("t"), binop=BinOpKind.MUL,
+                      lhs=Temp("a"), rhs=Const(2)),
+                "%a * 2",
+            ),
+            (
+                Instr(Opcode.UNOP, dest=Temp("t"), unop=UnOpKind.NEG,
+                      src=Temp("a")),
+                "-%a",
+            ),
+            (
+                Instr(Opcode.INTRINSIC, dest=Temp("t"), intrinsic="sqrt",
+                      args=(Temp("x"),)),
+                "sqrt(%x)",
+            ),
+            (
+                Instr(Opcode.READ_SHARED, dest=Temp("t"), var="A",
+                      indices=(Const(0),)),
+                "read A[0]",
+            ),
+            (
+                Instr(Opcode.WRITE_SHARED, var="A", indices=(Const(0),),
+                      src=Temp("v")),
+                "write A[0]",
+            ),
+            (
+                Instr(Opcode.GET, dest=Temp("t"), var="A",
+                      indices=(Const(1),), counter=4),
+                "get(%t, A[1], ctr4)",
+            ),
+            (
+                Instr(Opcode.GET, var="A", indices=(Const(1),),
+                      counter=4, local_array="buf",
+                      local_indices=(Temp("i"),)),
+                "get(&buf[%i]",
+            ),
+            (
+                Instr(Opcode.PUT, var="A", indices=(Const(1),),
+                      src=Temp("v"), counter=2),
+                "put(A[1], %v, ctr2)",
+            ),
+            (
+                Instr(Opcode.STORE, var="A", indices=(Const(1),),
+                      src=Temp("v")),
+                "store(A[1], %v)",
+            ),
+            (Instr(Opcode.SYNC_CTR, counter=7), "sync_ctr(ctr7)"),
+            (Instr(Opcode.STORE_SYNC), "all_store_sync()"),
+            (Instr(Opcode.POST, var="f", indices=()), "post f"),
+            (Instr(Opcode.WAIT, var="f", indices=()), "wait f"),
+            (Instr(Opcode.BARRIER), "barrier"),
+            (Instr(Opcode.LOCK, var="l", indices=()), "lock l"),
+            (Instr(Opcode.UNLOCK, var="l", indices=()), "unlock l"),
+            (Instr(Opcode.JUMP, target="bb1"), "jump bb1"),
+            (
+                Instr(Opcode.BRANCH, cond=Temp("c"), true_target="a",
+                      false_target="b"),
+                "branch %c ? a : b",
+            ),
+            (
+                Instr(Opcode.CALL, dest=Temp("r"), callee="f",
+                      args=(Const(1),)),
+                "call f(1)",
+            ),
+            (Instr(Opcode.RET, src=Temp("v")), "ret %v"),
+            (Instr(Opcode.RET), "ret"),
+            (
+                Instr(Opcode.LOAD_LOCAL, dest=Temp("t"), var="buf",
+                      indices=(Const(0),)),
+                "local buf[0]",
+            ),
+            (
+                Instr(Opcode.STORE_LOCAL, var="buf", indices=(Const(0),),
+                      src=Temp("v")),
+                "local buf[0] = %v",
+            ),
+        ],
+    )
+    def test_format(self, instr, fragment):
+        assert fragment in format_instr(instr)
+
+
+class TestDescriptors:
+    def test_shared_var(self):
+        var = SharedVar("A", ScalarKind.DOUBLE, (4, 8),
+                        Distribution.CYCLIC)
+        assert var.is_array
+        assert var.element_count == 32
+        assert not var.is_sync_object
+
+    def test_flag_var_is_sync_object(self):
+        assert SharedVar("f", ScalarKind.FLAG, (4,)).is_sync_object
+
+    def test_local_array(self):
+        array = LocalArray("buf", ScalarKind.DOUBLE, (2, 3))
+        assert array.element_count == 6
+
+    def test_index_meta_defaults(self):
+        meta = IndexMeta()
+        assert meta.exprs == ()
+        assert meta.proc_guard is None

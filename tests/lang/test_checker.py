@@ -1,0 +1,230 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.lang import parse_and_check
+from repro.lang.types import ScalarKind
+
+
+def check_ok(source: str):
+    return parse_and_check(source)
+
+
+def check_fails(source: str, fragment: str = ""):
+    with pytest.raises(TypeError_) as exc:
+        parse_and_check(source)
+    if fragment:
+        assert fragment in str(exc.value)
+    return exc.value
+
+
+class TestProgramStructure:
+    def test_main_required(self):
+        check_fails("void helper() { }", "main")
+
+    def test_main_must_be_void(self):
+        check_fails("int main() { return 1; }", "void main()")
+
+    def test_main_must_take_no_params(self):
+        check_fails("void main(int x) { }")
+
+    def test_minimal_program(self):
+        checked = check_ok("void main() { }")
+        assert "main" in checked.functions
+
+    def test_duplicate_function(self):
+        check_fails("void f() { } void f() { } void main() { }",
+                    "redeclaration")
+
+    def test_duplicate_shared(self):
+        check_fails("shared int X; shared double X; void main() { }")
+
+    def test_intrinsic_name_collision(self):
+        check_fails("void min() { } void main() { }", "intrinsic")
+
+
+class TestDeclarationsAndScope:
+    def test_undeclared_variable(self):
+        check_fails("void main() { x = 1; }", "undeclared")
+
+    def test_shadowing_in_nested_scope(self):
+        check_ok("void main() { int x = 1; { double x = 2.0; } x = 3; }")
+
+    def test_duplicate_in_same_scope(self):
+        check_fails("void main() { int x; int x; }", "redeclaration")
+
+    def test_variable_visible_after_block_ends(self):
+        check_fails("void main() { { int x = 1; } x = 2; }")
+
+    def test_for_loop_variable_scoped(self):
+        check_fails(
+            "void main() { for (int i = 0; i < 3; i = i + 1) { } i = 0; }"
+        )
+
+    def test_function_is_not_a_variable(self):
+        check_fails("void f() { } void main() { int x = f; }")
+
+
+class TestAssignments:
+    def test_int_to_double_ok(self):
+        check_ok("void main() { double x = 1; }")
+
+    def test_double_to_int_ok(self):
+        check_ok("void main() { int x; x = 2.5; }")
+
+    def test_assign_to_shared_scalar(self):
+        check_ok("shared int C; void main() { C = 3; }")
+
+    def test_assign_to_shared_array_element(self):
+        check_ok("shared double A[4]; void main() { A[0] = 1.0; }")
+
+    def test_assign_whole_array_rejected(self):
+        check_fails(
+            "shared double A[4]; shared double B[4]; "
+            "void main() { A = B; }"
+        )
+
+    def test_assign_to_flag_rejected(self):
+        check_fails("shared flag_t f; void main() { f = 1; }",
+                    "post/wait")
+
+    def test_read_lock_as_value_rejected(self):
+        check_fails("shared lock_t l; void main() { int x = l; }")
+
+
+class TestIndexing:
+    def test_wrong_dimension_count(self):
+        check_fails(
+            "shared double G[4][4]; void main() { G[1] = 0.0; }",
+            "dimension",
+        )
+
+    def test_index_must_be_int(self):
+        check_fails(
+            "shared double A[4]; void main() { A[1.5] = 0.0; }",
+            "int",
+        )
+
+    def test_indexing_scalar_rejected(self):
+        check_fails("shared int X; void main() { X[0] = 1; }",
+                    "not an array")
+
+    def test_local_array_indexing(self):
+        check_ok("void main() { double b[8]; b[3] = 1.0; }")
+
+
+class TestSynchronizationOperands:
+    def test_post_needs_flag(self):
+        check_fails("shared int X; void main() { post(X); }", "flag_t")
+
+    def test_wait_on_flag_element(self):
+        check_ok("shared flag_t f[4]; void main() { wait(f[1]); }")
+
+    def test_post_on_whole_flag_array_rejected(self):
+        check_fails("shared flag_t f[4]; void main() { post(f); }")
+
+    def test_lock_needs_lock(self):
+        check_fails("shared flag_t f; void main() { lock(f); }",
+                    "lock_t")
+
+    def test_unlock_ok(self):
+        check_ok("shared lock_t l; void main() { lock(l); unlock(l); }")
+
+    def test_post_on_expression_rejected(self):
+        check_fails("shared flag_t f; void main() { post(1 + 2); }")
+
+
+class TestCallsAndReturns:
+    def test_call_undeclared(self):
+        check_fails("void main() { frob(); }", "undeclared")
+
+    def test_arity_mismatch(self):
+        check_fails(
+            "void f(int a) { } void main() { f(); }", "argument"
+        )
+
+    def test_argument_type_mismatch(self):
+        # Arrays cannot be passed.
+        check_fails(
+            "void f(int a) { } "
+            "void main() { double b[4]; f(b); }"
+        )
+
+    def test_return_from_void_with_value(self):
+        check_fails("void main() { return 3; }")
+
+    def test_missing_return_value(self):
+        check_fails("int f() { return; } void main() { }")
+
+    def test_return_conversion(self):
+        check_ok("int f() { return 2.5; } void main() { }")
+
+    def test_void_call_as_statement(self):
+        check_ok("void f() { } void main() { f(); }")
+
+    def test_value_call_as_statement_rejected(self):
+        check_fails("int f() { return 1; } void main() { f(); }",
+                    "void")
+
+
+class TestIntrinsics:
+    def test_min_max(self):
+        check_ok("void main() { double x = min(1.0, 2.0); int y = max(1, 2); }")
+
+    def test_sqrt_returns_double(self):
+        checked = check_ok("void main() { double x = sqrt(2); }")
+        assert checked is not None
+
+    def test_intrinsic_arity(self):
+        check_fails("void main() { double x = min(1.0); }", "expects")
+
+    def test_abs(self):
+        check_ok("void main() { int x = abs(0 - 5); }")
+
+
+class TestOperators:
+    def test_mod_requires_ints(self):
+        check_fails("void main() { double x = 1.5 % 2.0; }", "%")
+
+    def test_comparison_yields_int(self):
+        check_ok("void main() { int x = 1.5 < 2.5; }")
+
+    def test_logical_ops(self):
+        check_ok("void main() { int x = (1 < 2) && !(3 > 4) || 0; }")
+
+    def test_arithmetic_on_lock_rejected(self):
+        check_fails("shared lock_t l; void main() { int x = 1; "
+                    "if (l && x) { } }")
+
+    def test_condition_must_be_numeric(self):
+        check_fails(
+            "shared flag_t f; void main() { while (f) { } }"
+        )
+
+
+class TestLockBalance:
+    def test_unbalanced_lock_rejected(self):
+        check_fails(
+            "shared lock_t l; void main() { lock(l); }", "unbalanced"
+        )
+
+    def test_balanced_ok(self):
+        check_ok(
+            "shared lock_t l; void main() { lock(l); unlock(l); }"
+        )
+
+
+class TestExpressionTyping:
+    def test_types_are_annotated(self):
+        checked = check_ok(
+            "shared double A[4]; void main() { double x = A[1] + 2; }"
+        )
+        main = checked.functions["main"]
+        decl = main.body.statements[0]
+        assert decl.init.type.kind is ScalarKind.DOUBLE
+
+    def test_myproc_is_int(self):
+        checked = check_ok("void main() { int p = MYPROC + PROCS; }")
+        decl = checked.functions["main"].body.statements[0]
+        assert decl.init.type.kind is ScalarKind.INT

@@ -1,0 +1,271 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.types import Distribution, ScalarKind
+
+
+def parse_main(body: str) -> ast.FuncDecl:
+    program = parse("void main() { " + body + " }")
+    return program.function("main")
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_main(body).body.statements[0]
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        program = parse("")
+        assert program.functions == []
+        assert program.shared_decls == []
+
+    def test_shared_scalar(self):
+        program = parse("shared int counter;")
+        decl = program.shared("counter")
+        assert decl.var_type.kind is ScalarKind.INT
+        assert decl.var_type.shared
+        assert not decl.var_type.is_array
+
+    def test_shared_array(self):
+        program = parse("shared double A[128];")
+        decl = program.shared("A")
+        assert decl.var_type.dims == (128,)
+
+    def test_shared_2d_array(self):
+        program = parse("shared double G[16][32];")
+        assert program.shared("G").var_type.dims == (16, 32)
+
+    def test_distribution_block(self):
+        program = parse("shared double A[8] dist(block);")
+        assert program.shared("A").distribution is Distribution.BLOCK
+
+    def test_distribution_cyclic(self):
+        program = parse("shared double A[8] dist(cyclic);")
+        assert program.shared("A").distribution is Distribution.CYCLIC
+
+    def test_shared_flag_array(self):
+        program = parse("shared flag_t f[4];")
+        assert program.shared("f").var_type.kind is ScalarKind.FLAG
+
+    def test_shared_lock(self):
+        program = parse("shared lock_t l;")
+        assert program.shared("l").var_type.kind is ScalarKind.LOCK
+
+    def test_shared_void_rejected(self):
+        with pytest.raises(ParseError):
+            parse("shared void v;")
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ParseError):
+            parse("shared int A[0];")
+
+    def test_function_with_params(self):
+        program = parse("double f(int a, double b) { return b; }")
+        func = program.function("f")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[0].param_type.kind is ScalarKind.INT
+        assert func.return_type.kind is ScalarKind.DOUBLE
+
+    def test_flag_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(flag_t g) { }")
+
+
+class TestStatements:
+    def test_local_declaration_with_init(self):
+        stmt = first_stmt("int x = 5;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.init, ast.IntLiteral)
+
+    def test_local_array_declaration(self):
+        stmt = first_stmt("double buf[16];")
+        assert stmt.var_type.dims == (16,)
+
+    def test_local_array_with_init_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("double buf[4] = 0.0;")
+
+    def test_local_flag_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("flag_t f;")
+
+    def test_assignment(self):
+        stmt = first_stmt("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.VarRef)
+
+    def test_indexed_assignment(self):
+        stmt = first_stmt("A[i][j] = 1.0;")
+        assert isinstance(stmt.target, ast.IndexExpr)
+        assert len(stmt.target.indices) == 2
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("3 = x;")
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is not None
+
+    def test_if_without_braces(self):
+        stmt = first_stmt("if (x) y = 1;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body.statements) == 1
+
+    def test_dangling_else_binds_inner(self):
+        stmt = first_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_body is None
+        inner = stmt.then_body.statements[0]
+        assert inner.else_body is not None
+
+    def test_while(self):
+        stmt = first_stmt("while (x < 3) { x = x + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full_header(self):
+        stmt = first_stmt("for (i = 0; i < 10; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert stmt.condition is not None
+        assert stmt.step is not None
+
+    def test_for_with_declaration_init(self):
+        stmt = first_stmt("for (int i = 0; i < 4; i = i + 1) { }")
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_for_empty_header(self):
+        stmt = first_stmt("for (;;) { }")
+        assert stmt.init is None and stmt.condition is None
+        assert stmt.step is None
+
+    def test_barrier(self):
+        assert isinstance(first_stmt("barrier();"), ast.Barrier)
+
+    def test_post_wait(self):
+        assert isinstance(first_stmt("post(f);"), ast.Post)
+        assert isinstance(first_stmt("wait(f[2]);"), ast.Wait)
+
+    def test_lock_unlock(self):
+        assert isinstance(first_stmt("lock(l);"), ast.LockStmt)
+        assert isinstance(first_stmt("unlock(l);"), ast.UnlockStmt)
+
+    def test_return_value(self):
+        program = parse("int f() { return 3; }")
+        stmt = program.function("f").body.statements[0]
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is not None
+
+    def test_bare_return(self):
+        stmt = first_stmt("return;")
+        assert stmt.value is None
+
+    def test_nested_blocks(self):
+        stmt = first_stmt("{ { x = 1; } }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void main() { x = 1;")
+
+
+class TestExpressions:
+    def expr(self, text: str) -> ast.Expr:
+        stmt = first_stmt(f"x = {text};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        tree = self.expr("1 + 2 * 3")
+        assert tree.op is ast.BinaryOp.ADD
+        assert tree.right.op is ast.BinaryOp.MUL
+
+    def test_precedence_comparison_over_and(self):
+        tree = self.expr("a < b && c > d")
+        assert tree.op is ast.BinaryOp.AND
+
+    def test_precedence_and_over_or(self):
+        tree = self.expr("a || b && c")
+        assert tree.op is ast.BinaryOp.OR
+        assert tree.right.op is ast.BinaryOp.AND
+
+    def test_left_associativity(self):
+        tree = self.expr("a - b - c")
+        assert tree.op is ast.BinaryOp.SUB
+        assert tree.left.op is ast.BinaryOp.SUB
+
+    def test_parentheses_override(self):
+        tree = self.expr("(1 + 2) * 3")
+        assert tree.op is ast.BinaryOp.MUL
+        assert tree.left.op is ast.BinaryOp.ADD
+
+    def test_unary_minus(self):
+        tree = self.expr("-x")
+        assert isinstance(tree, ast.Unary)
+        assert tree.op is ast.UnaryOp.NEG
+
+    def test_unary_not(self):
+        tree = self.expr("!x")
+        assert tree.op is ast.UnaryOp.NOT
+
+    def test_double_negation(self):
+        tree = self.expr("--x")
+        assert isinstance(tree.operand, ast.Unary)
+
+    def test_myproc_and_procs(self):
+        assert isinstance(self.expr("MYPROC"), ast.MyProc)
+        assert isinstance(self.expr("PROCS"), ast.NumProcs)
+
+    def test_indexing(self):
+        tree = self.expr("A[i + 1]")
+        assert isinstance(tree, ast.IndexExpr)
+        assert tree.base.name == "A"
+
+    def test_multi_dim_indexing(self):
+        tree = self.expr("G[i][j]")
+        assert len(tree.indices) == 2
+
+    def test_call_no_args(self):
+        tree = self.expr("f()")
+        assert isinstance(tree, ast.Call)
+        assert tree.args == []
+
+    def test_call_with_args(self):
+        tree = self.expr("min(a, b + 1)")
+        assert len(tree.args) == 2
+
+    def test_indexing_a_call_rejected(self):
+        with pytest.raises(ParseError):
+            self.expr("f()[0]")
+
+    def test_mod_operator(self):
+        tree = self.expr("(MYPROC + 1) % PROCS")
+        assert tree.op is ast.BinaryOp.MOD
+
+    def test_float_literal(self):
+        tree = self.expr("2.5")
+        assert isinstance(tree, ast.FloatLiteral)
+
+    def test_stray_token_in_expression(self):
+        with pytest.raises(ParseError):
+            self.expr("1 + ;")
+
+
+class TestExpressionStatements:
+    def test_void_call_statement(self):
+        program = parse(
+            "void helper() { } void main() { helper(); }"
+        )
+        stmt = program.function("main").body.statements[0]
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_non_call_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("x + 1;")

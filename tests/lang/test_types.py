@@ -1,0 +1,80 @@
+"""Type-system unit tests."""
+
+from repro.lang.types import (
+    DOUBLE,
+    FLAG,
+    INT,
+    LOCK,
+    VOID,
+    Distribution,
+    ScalarKind,
+    Type,
+    arithmetic_result,
+    assignable,
+)
+
+
+class TestTypeProperties:
+    def test_scalar_is_not_array(self):
+        assert not INT.is_array
+
+    def test_array_type(self):
+        array = Type(ScalarKind.DOUBLE, (4, 8), shared=True)
+        assert array.is_array
+        assert array.element_count == 32
+
+    def test_element_type_drops_dims(self):
+        array = Type(ScalarKind.DOUBLE, (4,), shared=True)
+        element = array.element_type()
+        assert not element.is_array
+        assert element.shared
+        assert element.kind is ScalarKind.DOUBLE
+
+    def test_numeric(self):
+        assert INT.is_numeric
+        assert DOUBLE.is_numeric
+        assert not VOID.is_numeric
+        assert not FLAG.is_numeric
+        assert not Type(ScalarKind.INT, (3,)).is_numeric
+
+    def test_sync_object(self):
+        assert FLAG.is_sync_object
+        assert LOCK.is_sync_object
+        assert not INT.is_sync_object
+
+    def test_str_rendering(self):
+        shared_array = Type(ScalarKind.DOUBLE, (4, 2), shared=True)
+        assert str(shared_array) == "shared double[4][2]"
+        assert str(INT) == "int"
+
+
+class TestArithmeticResult:
+    def test_int_int(self):
+        assert arithmetic_result(INT, INT).kind is ScalarKind.INT
+
+    def test_double_wins(self):
+        assert arithmetic_result(INT, DOUBLE).kind is ScalarKind.DOUBLE
+        assert arithmetic_result(DOUBLE, INT).kind is ScalarKind.DOUBLE
+
+
+class TestAssignable:
+    def test_numeric_conversions(self):
+        assert assignable(INT, DOUBLE)
+        assert assignable(DOUBLE, INT)
+
+    def test_arrays_not_assignable(self):
+        array = Type(ScalarKind.INT, (4,))
+        assert not assignable(array, array)
+        assert not assignable(INT, array)
+
+    def test_sync_objects_not_assignable(self):
+        assert not assignable(FLAG, INT)
+        assert not assignable(LOCK, INT)
+
+    def test_void_not_assignable(self):
+        assert not assignable(VOID, INT)
+
+
+class TestDistribution:
+    def test_default_block(self):
+        assert Type(ScalarKind.INT).distribution is Distribution.BLOCK

@@ -1,0 +1,174 @@
+"""Random deterministic SPMD program generator.
+
+Generates MiniSplit programs whose final shared-memory contents are
+*deterministic* (independent of timing), so any two compilations must
+produce identical snapshots.  Determinism is guaranteed by
+construction:
+
+* data phases write only the executing processor's own partition
+  (``V[MYPROC*B + i]``) and are separated from conflicting reads by
+  barriers;
+* gather phases read a neighbor's block of the *previous* phase's
+  variable;
+* scalar phases are owner-guarded (``if (MYPROC == 0)``);
+* lock phases update shared accumulators commutatively
+  (sums), so the final value is order-independent;
+* post/wait ring phases read only data the matching post ordered.
+
+The generator is seeded: one seed = one program.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+BLOCK = 4  # elements per processor per array
+
+
+class ProgramBuilder:
+    def __init__(self, seed: int, procs: int):
+        self.rng = random.Random(seed)
+        self.procs = procs
+        self.arrays: List[str] = []
+        self.lines: List[str] = []
+        self.decls: List[str] = []
+        self.flag_count = 0
+        self.lock_count = 0
+        self.scalar_count = 0
+        self.phase = 0
+
+    # -- declarations -----------------------------------------------------
+
+    def new_array(self) -> str:
+        name = f"V{len(self.arrays)}"
+        self.arrays.append(name)
+        self.decls.append(
+            f"shared double {name}[{BLOCK * self.procs}];"
+        )
+        return name
+
+    def new_scalar(self) -> str:
+        name = f"S{self.scalar_count}"
+        self.scalar_count += 1
+        self.decls.append(f"shared double {name};")
+        return name
+
+    def new_flags(self) -> str:
+        name = f"f{self.flag_count}"
+        self.flag_count += 1
+        self.decls.append(f"shared flag_t {name}[{self.procs}];")
+        return name
+
+    def new_lock(self) -> str:
+        name = f"lk{self.lock_count}"
+        self.lock_count += 1
+        self.decls.append(f"shared lock_t {name};")
+        return name
+
+    # -- phases ----------------------------------------------------------------
+
+    def phase_write_own(self) -> None:
+        var = self.new_array()
+        a = self.rng.randint(1, 5)
+        b = self.rng.randint(0, 9)
+        self.lines.append(
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    {var}[base + i] = {a}.0 * (base + i) + {b}.0;\n"
+            f"  }}\n"
+            f"  barrier();"
+        )
+
+    def phase_gather_neighbor(self) -> None:
+        if not self.arrays:
+            self.phase_write_own()
+        src = self.rng.choice(self.arrays)
+        dst = self.new_array()
+        shift = self.rng.randint(1, self.procs - 1) if self.procs > 1 else 0
+        scale = self.rng.randint(1, 3)
+        self.lines.append(
+            f"  nb = (MYPROC + {shift}) % PROCS;\n"
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    buf[i] = {src}[nb * {BLOCK} + i];\n"
+            f"  }}\n"
+            f"  barrier();\n"
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    {dst}[base + i] = buf[i] * {scale}.0 + 1.0;\n"
+            f"  }}\n"
+            f"  barrier();"
+        )
+
+    def phase_scalar_broadcast(self) -> None:
+        scalar = self.new_scalar()
+        dst = self.new_array()
+        value = self.rng.randint(1, 20)
+        self.lines.append(
+            f"  if (MYPROC == 0) {{ {scalar} = {value}.0; }}\n"
+            f"  barrier();\n"
+            f"  tmp = {scalar};\n"
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    {dst}[base + i] = tmp + 1.0 * i;\n"
+            f"  }}\n"
+            f"  barrier();"
+        )
+
+    def phase_lock_accumulate(self) -> None:
+        lock = self.new_lock()
+        scalar = self.new_scalar()
+        rounds = self.rng.randint(1, 2)
+        self.lines.append(
+            f"  for (i = 0; i < {rounds}; i = i + 1) {{\n"
+            f"    lock({lock});\n"
+            f"    {scalar} = {scalar} + 1.0 * MYPROC + 1.0;\n"
+            f"    unlock({lock});\n"
+            f"  }}\n"
+            f"  barrier();"
+        )
+
+    def phase_post_wait_ring(self) -> None:
+        flags = self.new_flags()
+        src = self.new_array()
+        dst = self.new_array()
+        offset = self.rng.randint(0, 4)
+        self.lines.append(
+            f"  nb = (MYPROC + 1) % PROCS;\n"
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    {src}[base + i] = 1.0 * (base + i) + {offset}.0;\n"
+            f"  }}\n"
+            f"  post({flags}[MYPROC]);\n"
+            f"  wait({flags}[nb]);\n"
+            f"  for (i = 0; i < {BLOCK}; i = i + 1) {{\n"
+            f"    {dst}[base + i] = {src}[nb * {BLOCK} + i] * 2.0;\n"
+            f"  }}\n"
+            f"  barrier();"
+        )
+
+    PHASES = (
+        phase_write_own,
+        phase_gather_neighbor,
+        phase_scalar_broadcast,
+        phase_lock_accumulate,
+        phase_post_wait_ring,
+    )
+
+    def build(self, num_phases: int) -> str:
+        for _ in range(num_phases):
+            phase_fn = self.rng.choice(self.PHASES)
+            phase_fn(self)
+        body = "\n".join(self.lines)
+        decls = "\n".join(self.decls)
+        return (
+            f"{decls}\n"
+            f"void main() {{\n"
+            f"  int i; int nb;\n"
+            f"  double tmp;\n"
+            f"  double buf[{BLOCK}];\n"
+            f"  int base = MYPROC * {BLOCK};\n"
+            f"{body}\n"
+            f"}}\n"
+        )
+
+
+def generate(seed: int, procs: int = 4, num_phases: int = 4) -> str:
+    """A random deterministic SPMD program for the given seed."""
+    return ProgramBuilder(seed, procs).build(num_phases)

@@ -1,0 +1,89 @@
+"""Property tests for the SC checker against a brute-force oracle."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.runtime.consistency import is_sequentially_consistent
+from repro.runtime.trace import ExecutionTrace
+
+LOCATIONS = [("X", 0), ("Y", 0)]
+VALUES = [0, 1, 2]
+
+
+def brute_force_sc(per_proc, initial_value=0):
+    """Enumerates every interleaving of tiny traces (the oracle)."""
+    order_slots = []
+    for proc, events in enumerate(per_proc):
+        order_slots.extend([proc] * len(events))
+    for schedule in set(itertools.permutations(order_slots)):
+        positions = [0] * len(per_proc)
+        memory = {}
+        ok = True
+        for proc in schedule:
+            op, loc, value = per_proc[proc][positions[proc]]
+            positions[proc] += 1
+            if op == "w":
+                memory[loc] = value
+            else:
+                if memory.get(loc, initial_value) != value:
+                    ok = False
+                    break
+        if ok:
+            return True
+    return False
+
+
+events = st.tuples(
+    st.sampled_from(["r", "w"]),
+    st.sampled_from(LOCATIONS),
+    st.sampled_from(VALUES),
+)
+
+proc_traces = st.lists(
+    st.lists(events, min_size=0, max_size=3), min_size=1, max_size=3
+)
+
+
+def build_trace(per_proc):
+    trace = ExecutionTrace(len(per_proc))
+    for proc, proc_events in enumerate(per_proc):
+        for op, loc, value in proc_events:
+            if op == "w":
+                trace.record_write(proc, loc, value)
+            else:
+                event = trace.record_read_issue(proc, loc)
+                event.value = value
+    return trace
+
+
+class TestCheckerMatchesOracle:
+    @given(per_proc=proc_traces)
+    @settings(max_examples=300, deadline=None)
+    def test_agreement(self, per_proc):
+        trace = build_trace(per_proc)
+        assert is_sequentially_consistent(trace) == brute_force_sc(
+            per_proc
+        )
+
+    @given(per_proc=proc_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_write_only_traces_always_sc(self, per_proc):
+        writes_only = [
+            [e for e in events if e[0] == "w"] for events in per_proc
+        ]
+        assert is_sequentially_consistent(build_trace(writes_only))
+
+    @given(per_proc=proc_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_read_prefix_closure(self, per_proc):
+        """Dropping a trailing *read* preserves consistency (reads only
+        constrain; dropping a write could orphan the reads of it)."""
+        if not is_sequentially_consistent(build_trace(per_proc)):
+            return
+        for proc, events in enumerate(per_proc):
+            if events and events[-1][0] == "r":
+                clipped = [list(e) for e in per_proc]
+                clipped[proc] = clipped[proc][:-1]
+                assert is_sequentially_consistent(build_trace(clipped))

@@ -1,0 +1,105 @@
+"""Property tests: dominator analysis on random CFGs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.cfg import Function
+from repro.ir.dominators import DominatorTree, reverse_postorder
+from repro.ir.instructions import Const, Instr, Opcode, Temp
+
+
+@st.composite
+def random_cfgs(draw):
+    """A random function of N blocks with arbitrary branch targets."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    function = Function("f")
+    blocks = [function.new_block("b") for _ in range(count)]
+    for index, block in enumerate(blocks):
+        kind = draw(st.sampled_from(["jump", "branch", "ret"]))
+        if index == count - 1 or kind == "ret":
+            block.append(Instr(Opcode.RET))
+        elif kind == "jump":
+            target = draw(st.integers(min_value=0, max_value=count - 1))
+            block.append(Instr(Opcode.JUMP, target=blocks[target].label))
+        else:
+            t1 = draw(st.integers(min_value=0, max_value=count - 1))
+            t2 = draw(st.integers(min_value=0, max_value=count - 1))
+            cond = Temp("c")
+            block.instrs.insert(
+                0, Instr(Opcode.CONST, dest=cond, value=1)
+            )
+            block.append(
+                Instr(
+                    Opcode.BRANCH,
+                    cond=cond,
+                    true_target=blocks[t1].label,
+                    false_target=blocks[t2].label,
+                )
+            )
+    function.remove_unreachable_blocks()
+    return function
+
+
+def all_paths_pass_through(function, target, via, budget=4000):
+    """Does every entry->target path pass through `via`? (DFS over
+    acyclic unrollings with a visit budget; blocks revisits)."""
+    entry = function.entry.label
+    if target == entry:
+        return via == entry
+
+    # A path avoids `via` iff target is reachable from entry in the
+    # graph with `via` deleted.
+    seen = set()
+    stack = [entry]
+    if entry == via:
+        return True
+    while stack:
+        label = stack.pop()
+        if label == target:
+            return False  # found a path avoiding via
+        if label in seen:
+            continue
+        seen.add(label)
+        for succ in function.block(label).successors():
+            if succ != via:
+                stack.append(succ)
+    return True
+
+
+class TestDominatorProperties:
+    @given(random_cfgs())
+    @settings(max_examples=200, deadline=None)
+    def test_entry_dominates_everything(self, function):
+        tree = DominatorTree(function)
+        for block in function.blocks:
+            assert tree.block_dominates(function.entry.label, block.label)
+
+    @given(random_cfgs())
+    @settings(max_examples=200, deadline=None)
+    def test_domination_matches_path_cutting(self, function):
+        """a dom b iff deleting a disconnects b from the entry."""
+        tree = DominatorTree(function)
+        labels = [b.label for b in function.blocks]
+        for a in labels:
+            for b in labels:
+                expected = all_paths_pass_through(function, b, a)
+                assert tree.block_dominates(a, b) == expected, (a, b)
+
+    @given(random_cfgs())
+    @settings(max_examples=200, deadline=None)
+    def test_idom_is_a_strict_dominator(self, function):
+        tree = DominatorTree(function)
+        for block in function.blocks:
+            idom = tree.idom[block.label]
+            if idom is None:
+                assert block.label == function.entry.label
+            else:
+                assert idom != block.label
+                assert tree.block_dominates(idom, block.label)
+
+    @given(random_cfgs())
+    @settings(max_examples=200, deadline=None)
+    def test_rpo_covers_reachable_blocks(self, function):
+        order = reverse_postorder(function)
+        assert set(order) == {b.label for b in function.blocks}
+        assert order[0] == function.entry.label

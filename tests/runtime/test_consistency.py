@@ -1,0 +1,158 @@
+"""Sequential-consistency checker tests (litmus-style traces)."""
+
+import pytest
+
+from repro.runtime.consistency import (
+    find_violation_witness,
+    is_sequentially_consistent,
+)
+from repro.runtime.trace import ExecutionTrace
+
+
+def trace_of(*per_proc):
+    """Builds a trace from per-processor ('r'/'w', loc, value) lists."""
+    trace = ExecutionTrace(len(per_proc))
+    for proc, events in enumerate(per_proc):
+        for op, loc, value in events:
+            if op == "w":
+                trace.record_write(proc, loc, value)
+            else:
+                event = trace.record_read_issue(proc, loc)
+                event.value = value
+    return trace
+
+
+X = ("X", 0)
+Y = ("Y", 0)
+
+
+class TestBasicCases:
+    def test_empty_trace(self):
+        assert is_sequentially_consistent(ExecutionTrace(2))
+
+    def test_single_write_read(self):
+        trace = trace_of([("w", X, 1)], [("r", X, 1)])
+        assert is_sequentially_consistent(trace)
+
+    def test_read_of_initial_zero(self):
+        trace = trace_of([("w", X, 1)], [("r", X, 0)])
+        assert is_sequentially_consistent(trace)  # read ordered first
+
+    def test_read_of_never_written_value(self):
+        trace = trace_of([("w", X, 1)], [("r", X, 7)])
+        assert not is_sequentially_consistent(trace)
+
+    def test_custom_initial_value(self):
+        trace = trace_of([("r", X, 9)])
+        assert is_sequentially_consistent(trace, initial={X: 9})
+        assert not is_sequentially_consistent(trace)
+
+
+class TestMessagePassingLitmus:
+    """The Figure 1 pattern: Flag=1 observed implies Data=1."""
+
+    def test_consistent_outcomes(self):
+        for flag, data in [(0, 0), (0, 1), (1, 1)]:
+            trace = trace_of(
+                [("w", X, 1), ("w", Y, 1)],          # X=Data, Y=Flag
+                [("r", Y, flag), ("r", X, data)],
+            )
+            assert is_sequentially_consistent(trace), (flag, data)
+
+    def test_violating_outcome(self):
+        trace = trace_of(
+            [("w", X, 1), ("w", Y, 1)],
+            [("r", Y, 1), ("r", X, 0)],
+        )
+        assert not is_sequentially_consistent(trace)
+
+    def test_witness_message(self):
+        trace = trace_of(
+            [("w", X, 1), ("w", Y, 1)],
+            [("r", Y, 1), ("r", X, 0)],
+        )
+        witness = find_violation_witness(trace)
+        assert witness is not None
+        assert "P0" in witness and "P1" in witness
+
+    def test_no_witness_when_consistent(self):
+        trace = trace_of([("w", X, 1)], [("r", X, 1)])
+        assert find_violation_witness(trace) is None
+
+
+class TestStoreBufferLitmus:
+    """Dekker's pattern: both reads returning 0 is not SC."""
+
+    def test_both_zero_violates(self):
+        trace = trace_of(
+            [("w", X, 1), ("r", Y, 0)],
+            [("w", Y, 1), ("r", X, 0)],
+        )
+        assert not is_sequentially_consistent(trace)
+
+    def test_one_zero_ok(self):
+        trace = trace_of(
+            [("w", X, 1), ("r", Y, 0)],
+            [("w", Y, 1), ("r", X, 1)],
+        )
+        assert is_sequentially_consistent(trace)
+
+
+class TestCoherence:
+    def test_write_order_agreement(self):
+        # Two readers must not observe two writes in opposite orders.
+        trace = trace_of(
+            [("w", X, 1)],
+            [("w", X, 2)],
+            [("r", X, 1), ("r", X, 2)],
+            [("r", X, 2), ("r", X, 1)],
+        )
+        assert not is_sequentially_consistent(trace)
+
+    def test_same_order_ok(self):
+        trace = trace_of(
+            [("w", X, 1)],
+            [("w", X, 2)],
+            [("r", X, 1), ("r", X, 2)],
+            [("r", X, 1), ("r", X, 2)],
+        )
+        assert is_sequentially_consistent(trace)
+
+    def test_read_own_write(self):
+        trace = trace_of(
+            [("w", X, 1), ("r", X, 2)],
+            [("w", X, 2)],
+        )
+        assert is_sequentially_consistent(trace)
+
+
+class TestIriw:
+    """Independent reads of independent writes."""
+
+    def test_iriw_violation(self):
+        trace = trace_of(
+            [("w", X, 1)],
+            [("w", Y, 1)],
+            [("r", X, 1), ("r", Y, 0)],
+            [("r", Y, 1), ("r", X, 0)],
+        )
+        assert not is_sequentially_consistent(trace)
+
+    def test_iriw_allowed(self):
+        trace = trace_of(
+            [("w", X, 1)],
+            [("w", Y, 1)],
+            [("r", X, 1), ("r", Y, 0)],
+            [("r", Y, 0), ("r", X, 1)],
+        )
+        assert is_sequentially_consistent(trace)
+
+
+class TestStepLimit:
+    def test_limit_raises(self):
+        trace = trace_of(
+            [("w", X, i) for i in range(8)],
+            [("w", X, i + 100) for i in range(8)],
+        )
+        with pytest.raises(RuntimeError):
+            is_sequentially_consistent(trace, step_limit=10)

@@ -1,0 +1,166 @@
+"""Interpreter edge cases: intrinsics, nesting, distributions."""
+
+import math
+
+import pytest
+
+from repro.runtime import CM5, run_module
+from tests.helpers import frontend, inlined
+
+
+def run(source, procs=2, seed=0, inline=True, **kwargs):
+    module = inlined(source) if inline else frontend(source)
+    return run_module(module, procs, CM5, seed=seed, **kwargs)
+
+
+class TestIntrinsicEdgeCases:
+    def test_floor(self):
+        result = run(
+            "shared int Out[2]; void main() { if (MYPROC == 0) {"
+            " Out[0] = floor(2.9); Out[1] = floor(0.0 - 2.1); } }"
+        )
+        assert result.snapshot()["Out"] == [2, -3]
+
+    def test_exp_sin_cos(self):
+        result = run(
+            "shared double Out[3]; void main() { if (MYPROC == 0) {"
+            " Out[0] = exp(0.0); Out[1] = sin(0.0); Out[2] = cos(0.0);"
+            " } }"
+        )
+        assert result.snapshot()["Out"] == [1.0, 0.0, 1.0]
+
+    def test_sqrt_precision(self):
+        result = run(
+            "shared double Out[1]; void main() { if (MYPROC == 0) {"
+            " Out[0] = sqrt(2.0); } }"
+        )
+        assert result.snapshot()["Out"][0] == pytest.approx(math.sqrt(2))
+
+    def test_min_max_mixed_types(self):
+        result = run(
+            "shared double Out[2]; void main() { if (MYPROC == 0) {"
+            " Out[0] = min(2, 1.5); Out[1] = max(2, 1.5); } }"
+        )
+        assert result.snapshot()["Out"] == [1.5, 2.0]
+
+
+class TestCallsWithoutInlining:
+    """The interpreter supports CALL frames directly (O0-style runs)."""
+
+    def test_nested_calls(self):
+        result = run(
+            "shared int X;\n"
+            "int add1(int v) { return v + 1; }\n"
+            "int add2(int v) { return add1(add1(v)); }\n"
+            "void main() { if (MYPROC == 0) { X = add2(40); } }",
+            inline=False,
+        )
+        assert result.snapshot()["X"] == [42]
+
+    def test_call_result_in_condition(self):
+        result = run(
+            "shared int X;\n"
+            "int pick(int v) { return v % 2; }\n"
+            "void main() { if (MYPROC == 0) {"
+            " if (pick(3)) { X = 1; } else { X = 2; } } }",
+            inline=False,
+        )
+        assert result.snapshot()["X"] == [1]
+
+    def test_each_call_gets_fresh_locals(self):
+        result = run(
+            "shared double Out[2];\n"
+            "double accumulate(double v) {\n"
+            "  double buffer[2];\n"
+            "  buffer[0] = v;\n"
+            "  return buffer[0] + buffer[1];\n"
+            "}\n"
+            "void main() { if (MYPROC == 0) {\n"
+            "  Out[0] = accumulate(5.0);\n"
+            "  Out[1] = accumulate(7.0);\n"
+            "} }",
+            inline=False,
+        )
+        # buffer[1] is always freshly zeroed.
+        assert result.snapshot()["Out"] == [5.0, 7.0]
+
+    def test_recursion_executes_at_runtime(self):
+        # The *analyzer* rejects recursion, but the interpreter itself
+        # handles recursive frames fine for O0-style direct execution.
+        result = run(
+            "shared int X;\n"
+            "int fact(int n) {\n"
+            "  if (n < 2) { return 1; }\n"
+            "  return n * fact(n - 1);\n"
+            "}\n"
+            "void main() { if (MYPROC == 0) { X = fact(5); } }",
+            inline=False,
+        )
+        assert result.snapshot()["X"] == [120]
+
+
+class TestDistributions:
+    def test_cyclic_array_end_to_end(self):
+        result = run(
+            "shared double A[8] dist(cyclic);\n"
+            "void main() {\n"
+            "  for (int i = 0; i < 8; i = i + 1) {\n"
+            "    if (i % PROCS == MYPROC) { A[i] = 1.0 * i; }\n"
+            "  }\n"
+            "  barrier();\n"
+            "}",
+            procs=4,
+        )
+        assert result.snapshot()["A"] == [float(i) for i in range(8)]
+
+    def test_cyclic_ownership_means_local_writes(self):
+        # Writing the elements you own cyclically costs no messages.
+        result = run(
+            "shared double A[8] dist(cyclic);\n"
+            "void main() {\n"
+            "  for (int i = 0; i < 8; i = i + 1) {\n"
+            "    if (i % PROCS == MYPROC) { A[i] = 1.0; }\n"
+            "  }\n"
+            "}",
+            procs=4,
+        )
+        assert result.total_messages == 0
+
+    def test_2d_remote_row_access(self):
+        result = run(
+            "shared double G[4][3];\n"
+            "void main() {\n"
+            "  if (MYPROC == 0) { G[3][2] = 9.0; }\n"
+            "  barrier();\n"
+            "}",
+            procs=4,
+        )
+        assert result.snapshot()["G"][3 * 3 + 2] == 9.0
+        # Row 3 lives on processor 3: the write was remote.
+        assert result.total_messages > 0
+
+
+class TestMixedPrograms:
+    def test_while_with_shared_condition(self):
+        # Spin until another processor raises the flag variable
+        # (busy-wait on shared data — legal, just slow).
+        result = run(
+            "shared int Go; shared int Done;\n"
+            "void main() {\n"
+            "  if (MYPROC == 0) {\n"
+            "    int d = 0;\n"
+            "    while (d < 30) { d = d + 1; }\n"
+            "    Go = 1;\n"
+            "  }\n"
+            "  if (MYPROC == 1) {\n"
+            "    while (Go == 0) { int z = 0; }\n"
+            "    Done = 1;\n"
+            "  }\n"
+            "}",
+        )
+        assert result.snapshot()["Done"] == [1]
+
+    def test_empty_main_all_procs(self):
+        result = run("void main() { }", procs=8)
+        assert result.cycles >= 0
+        assert result.total_messages == 0

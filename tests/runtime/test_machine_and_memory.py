@@ -1,0 +1,135 @@
+"""Machine model and distributed memory tests."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.lang.types import Distribution, ScalarKind
+from repro.runtime.machine import CM5, DASH, T3D, get_machine
+from repro.runtime.memory import GlobalMemory, flat_index, leading_index
+from tests.helpers import frontend
+
+
+class TestMachineModels:
+    """Table 1 of the paper: remote/local access latencies."""
+
+    @pytest.mark.parametrize(
+        "machine,remote,local",
+        [(CM5, 400, 30), (T3D, 85, 23), (DASH, 110, 26)],
+    )
+    def test_table_1_latencies(self, machine, remote, local):
+        assert machine.remote_read_cycles == remote
+        assert machine.local_access == local
+
+    def test_lookup_by_name(self):
+        assert get_machine("cm5") is CM5
+        assert get_machine("CM5") is CM5
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            get_machine("paragon")
+
+    def test_with_jitter(self):
+        jittery = CM5.with_jitter(100)
+        assert jittery.jitter == 100
+        assert CM5.jitter == 0  # original untouched
+        assert jittery.remote_read_cycles == CM5.remote_read_cycles
+
+
+def memory_for(source, procs):
+    return GlobalMemory(frontend(source), procs)
+
+
+class TestOwnership:
+    def test_scalar_on_proc0(self):
+        memory = memory_for("shared int X; void main() { }", 4)
+        assert memory.owner("X", ()) == 0
+
+    def test_block_distribution(self):
+        memory = memory_for("shared double A[8]; void main() { }", 4)
+        owners = [memory.owner("A", (i,)) for i in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_distribution_uneven(self):
+        memory = memory_for("shared double A[10]; void main() { }", 4)
+        owners = [memory.owner("A", (i,)) for i in range(10)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+        assert max(owners) < 4
+
+    def test_cyclic_distribution(self):
+        memory = memory_for(
+            "shared double A[8] dist(cyclic); void main() { }", 3
+        )
+        owners = [memory.owner("A", (i,)) for i in range(8)]
+        assert owners == [0, 1, 2, 0, 1, 2, 0, 1]
+
+    def test_2d_distributed_by_rows(self):
+        memory = memory_for("shared double G[4][8]; void main() { }", 4)
+        for row in range(4):
+            assert memory.owner("G", (row, 3)) == row
+
+    def test_more_procs_than_elements(self):
+        memory = memory_for("shared double A[2]; void main() { }", 8)
+        assert memory.owner("A", (0,)) == 0
+        assert memory.owner("A", (1,)) == 1
+
+    def test_out_of_range_leading_index(self):
+        memory = memory_for("shared double A[4]; void main() { }", 2)
+        with pytest.raises(RuntimeFault):
+            memory.owner("A", (4,))
+
+
+class TestStorage:
+    def test_initial_zero(self):
+        memory = memory_for("shared double A[4]; void main() { }", 2)
+        assert memory.read("A", (2,)) == 0.0
+
+    def test_write_read_roundtrip(self):
+        memory = memory_for("shared double A[4]; void main() { }", 2)
+        memory.write("A", (1,), 2.5)
+        assert memory.read("A", (1,)) == 2.5
+
+    def test_int_coercion(self):
+        memory = memory_for("shared int X; void main() { }", 2)
+        memory.write("X", (), 3.9)
+        assert memory.read("X", ()) == 3
+
+    def test_2d_flattening(self):
+        memory = memory_for("shared double G[2][3]; void main() { }", 2)
+        memory.write("G", (1, 2), 9.0)
+        assert memory.array("G")[5] == 9.0
+
+    def test_bounds_checked(self):
+        memory = memory_for("shared double A[4]; void main() { }", 2)
+        with pytest.raises(RuntimeFault):
+            memory.read("A", (9,))
+        with pytest.raises(RuntimeFault):
+            memory.write("A", (-1,), 0.0)
+
+    def test_wrong_arity(self):
+        memory = memory_for("shared double G[2][3]; void main() { }", 2)
+        with pytest.raises(RuntimeFault):
+            memory.read("G", (1,))
+
+    def test_unknown_variable(self):
+        memory = memory_for("shared int X; void main() { }", 2)
+        with pytest.raises(RuntimeFault):
+            memory.read("Y", ())
+
+    def test_snapshot_excludes_sync_objects(self):
+        memory = memory_for(
+            "shared int X; shared flag_t f; shared lock_t l;"
+            " void main() { }",
+            2,
+        )
+        snapshot = memory.snapshot()
+        assert "X" in snapshot
+        assert "f" not in snapshot and "l" not in snapshot
+
+
+class TestFlatIndexHelpers:
+    def test_flat_and_leading_consistent(self):
+        module = frontend("shared double G[4][6]; void main() { }")
+        var = module.shared_vars["G"]
+        flat = flat_index(var, (3, 2))
+        assert flat == 3 * 6 + 2
+        assert leading_index(var, flat) == 3

@@ -1,0 +1,316 @@
+"""Simulator tests: interpretation, timing model, synchronization."""
+
+import pytest
+
+from repro.errors import DeadlockError, RuntimeFault
+from repro.runtime import CM5, T3D, run_module
+from repro.runtime.network import MsgKind
+from tests.helpers import frontend, inlined
+
+
+def run(source, procs=2, seed=0, machine=CM5, **kwargs):
+    return run_module(inlined(source), procs, machine, seed=seed, **kwargs)
+
+
+class TestInterpretation:
+    def test_arithmetic(self):
+        result = run(
+            "shared double Out[1];\n"
+            "void main() { if (MYPROC == 0) {"
+            " Out[0] = (3 + 4) * 2 - 5.0 / 2.0; } }"
+        )
+        assert result.snapshot()["Out"][0] == pytest.approx(11.5)
+
+    def test_integer_division_truncates_toward_zero(self):
+        result = run(
+            "shared int Out[2];\n"
+            "void main() { if (MYPROC == 0) {"
+            " Out[0] = 7 / 2; Out[1] = (0 - 7) / 2; } }"
+        )
+        assert result.snapshot()["Out"] == [3, -3]
+
+    def test_mod_c_semantics(self):
+        result = run(
+            "shared int Out[2];\n"
+            "void main() { if (MYPROC == 0) {"
+            " Out[0] = 7 % 3; Out[1] = (0 - 7) % 3; } }"
+        )
+        assert result.snapshot()["Out"] == [1, -1]
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("shared int X; void main() { X = 1 / 0; }")
+
+    def test_comparisons_and_logic(self):
+        result = run(
+            "shared int Out[4];\n"
+            "void main() { if (MYPROC == 0) {\n"
+            "  Out[0] = 1 < 2; Out[1] = 2 <= 1;\n"
+            "  Out[2] = (1 < 2) && (3 < 4); Out[3] = !1;\n"
+            "} }"
+        )
+        assert result.snapshot()["Out"] == [1, 0, 1, 0]
+
+    def test_intrinsics(self):
+        result = run(
+            "shared double Out[4];\n"
+            "void main() { if (MYPROC == 0) {\n"
+            "  Out[0] = min(3, 1); Out[1] = max(3.0, 5.5);\n"
+            "  Out[2] = abs(0 - 4); Out[3] = sqrt(9.0);\n"
+            "} }"
+        )
+        assert result.snapshot()["Out"] == [1.0, 5.5, 4.0, 3.0]
+
+    def test_myproc_procs(self):
+        result = run(
+            "shared int Out[4];\n"
+            "void main() { Out[MYPROC] = MYPROC * 10 + PROCS; }",
+            procs=4,
+        )
+        assert result.snapshot()["Out"] == [4, 14, 24, 34]
+
+    def test_while_loop(self):
+        result = run(
+            "shared int X;\n"
+            "void main() { if (MYPROC == 0) { int n = 0;"
+            " while (n < 5) { n = n + 1; } X = n; } }"
+        )
+        assert result.snapshot()["X"] == [5]
+
+    def test_local_array_oob_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("void main() { double b[2]; b[5] = 1.0; }")
+
+    def test_function_call(self):
+        result = run(
+            "shared int X;\n"
+            "int twice(int v) { return v * 2; }\n"
+            "void main() { if (MYPROC == 0) { X = twice(21); } }"
+        )
+        assert result.snapshot()["X"] == [42]
+
+    def test_runaway_loop_guard(self):
+        with pytest.raises(RuntimeFault):
+            run(
+                "void main() { while (1) { int x = 0; } }",
+                max_cycles=10_000,
+            )
+
+
+class TestTimingModel:
+    def test_local_vs_remote_read(self):
+        # Two processors; proc 1 reads a scalar homed on proc 0.
+        remote = run(
+            "shared int X; void main() {"
+            " if (MYPROC == 1) { int y = X; } }"
+        )
+        local = run(
+            "shared int X; void main() {"
+            " if (MYPROC == 0) { int y = X; } }"
+        )
+        assert remote.cycles > local.cycles
+        assert remote.per_proc_cycles[1] >= CM5.remote_read_cycles
+
+    def test_t3d_faster_than_cm5(self):
+        source = (
+            "shared double A[16];\n"
+            "void main() { double x;"
+            " x = A[(MYPROC + 1) % PROCS * 4]; barrier(); }"
+        )
+        cm5 = run(source, procs=4, machine=CM5)
+        t3d = run(source, procs=4, machine=T3D)
+        assert t3d.cycles < cm5.cycles
+
+    def test_message_counts(self):
+        result = run(
+            "shared int X; void main() {"
+            " if (MYPROC == 1) { X = 5; } }"
+        )
+        stats = result.network.stats
+        assert stats.count(MsgKind.PUT_REQ) == 1
+        assert stats.count(MsgKind.PUT_ACK) == 1
+
+    def test_deterministic_given_seed(self):
+        source = (
+            "shared double A[8];\n"
+            "void main() { A[MYPROC] = 1.0 * MYPROC; barrier(); }"
+        )
+        first = run(source, procs=4, seed=9, machine=CM5.with_jitter(50))
+        second = run(source, procs=4, seed=9, machine=CM5.with_jitter(50))
+        assert first.cycles == second.cycles
+        assert first.snapshot() == second.snapshot()
+
+
+class TestSynchronization:
+    def test_barrier_rendezvous(self):
+        # Processor 1 writes before the barrier; everyone reads after.
+        result = run(
+            "shared int X; shared int Out[4];\n"
+            "void main() {\n"
+            "  if (MYPROC == 1) { X = 7; }\n"
+            "  barrier();\n"
+            "  Out[MYPROC] = X;\n"
+            "}",
+            procs=4,
+        )
+        assert result.snapshot()["Out"] == [7, 7, 7, 7]
+
+    def test_post_wait_handshake(self):
+        result = run(
+            "shared int X; shared flag_t f;\n"
+            "void main() {\n"
+            "  if (MYPROC == 0) { X = 3; post(f); }\n"
+            "  if (MYPROC == 1) { wait(f); X = X + 1; }\n"
+            "}",
+        )
+        assert result.snapshot()["X"] == [4]
+
+    def test_wait_before_post_blocks(self):
+        # Waiter starts first; must still see the posted value.
+        result = run(
+            "shared int X; shared flag_t f;\n"
+            "void main() {\n"
+            "  if (MYPROC == 1) { wait(f); X = X * 2; }\n"
+            "  if (MYPROC == 0) { int d = 0;\n"
+            "    while (d < 50) { d = d + 1; } X = 5; post(f); }\n"
+            "}",
+        )
+        assert result.snapshot()["X"] == [10]
+
+    def test_double_post_faults(self):
+        with pytest.raises(RuntimeFault):
+            run(
+                "shared flag_t f; void main() {"
+                " if (MYPROC == 0) { post(f); post(f); } }"
+            )
+
+    def test_missing_post_deadlocks(self):
+        with pytest.raises(DeadlockError):
+            run("shared flag_t f; void main() { wait(f); }")
+
+    def test_lock_mutual_exclusion(self):
+        result = run(
+            "shared lock_t l; shared int C;\n"
+            "void main() {\n"
+            "  for (int i = 0; i < 5; i = i + 1) {\n"
+            "    lock(l);\n"
+            "    C = C + 1;\n"
+            "    unlock(l);\n"
+            "  }\n"
+            "}",
+            procs=4,
+        )
+        assert result.snapshot()["C"] == [20]
+
+    def test_unlock_by_non_holder_faults(self):
+        # The checker only balances lock/unlock counts, so acquiring on
+        # one processor and releasing on another passes the frontend —
+        # the runtime must catch it.
+        with pytest.raises(RuntimeFault):
+            run(
+                "shared lock_t l; shared int X;\n"
+                "void main() {\n"
+                "  if (MYPROC == 0) { lock(l); X = 1; }\n"
+                "  if (MYPROC == 1) { unlock(l); }\n"
+                "}"
+            )
+
+    def test_flag_array_ring(self):
+        result = run(
+            "shared flag_t f[4]; shared int Out[4];\n"
+            "void main() {\n"
+            "  Out[MYPROC] = MYPROC + 1;\n"
+            "  post(f[MYPROC]);\n"
+            "  wait(f[(MYPROC + 1) % PROCS]);\n"
+            "  Out[MYPROC] = Out[MYPROC] + Out[(MYPROC + 1) % PROCS];\n"
+            "}",
+            procs=4,
+        )
+        # Out[p] = (p+1) + ((p+1)%4 + 1)
+        assert result.snapshot()["Out"] == [3, 5, 7, 5]
+
+    def test_mismatched_barriers_deadlock(self):
+        with pytest.raises(DeadlockError):
+            run(
+                "void main() { if (MYPROC == 0) { barrier(); } }",
+                procs=2,
+            )
+
+
+class TestSplitPhaseRuntime:
+    def test_pending_read_detected(self):
+        """Hand-built IR that reads a get destination before syncing."""
+        from repro.codegen.splitphase import convert_to_split_phase
+        from repro.ir.instructions import Opcode
+
+        module = inlined(
+            "shared int X; shared int Y;\n"
+            "void main() { if (MYPROC == 1) { int y = X; Y = y; } }"
+        )
+        convert_to_split_phase(module.main)
+        # Delete every sync_ctr: the put now consumes a pending value.
+        for block in module.main.blocks:
+            block.instrs = [
+                i for i in block.instrs if i.op is not Opcode.SYNC_CTR
+            ]
+        with pytest.raises(RuntimeFault) as exc:
+            run_module(module, 2, CM5, seed=0)
+        assert "before its get completed" in str(exc.value)
+
+    def test_store_drained_by_barrier(self):
+        from repro import OptLevel, compile_source
+
+        source = (
+            "shared double E[16];\n"
+            "void main() {\n"
+            "  int nb = (MYPROC + 1) % PROCS;\n"
+            "  for (int i = 0; i < 4; i = i + 1) {"
+            " E[nb * 4 + i] = 1.0; }\n"
+            "  barrier();\n"
+            "  double x = E[MYPROC * 4];\n"
+            "}"
+        )
+        program = compile_source(source, OptLevel.O3)
+        assert program.report.one_way_conversions >= 1
+        result = program.run(4, CM5.with_jitter(200), seed=3)
+        assert all(v == 1.0 for v in result.snapshot()["E"])
+
+
+class TestWaitAccounting:
+    def test_blocking_read_counts_as_waiting(self):
+        result = run(
+            "shared int X; void main() {"
+            " if (MYPROC == 1) { int y = X; } }"
+        )
+        assert result.per_proc_wait[1] > 0
+        assert result.per_proc_wait[1] <= result.per_proc_cycles[1]
+
+    def test_pure_compute_has_no_waiting(self):
+        result = run(
+            "void main() { int s = 0;"
+            " for (int i = 0; i < 10; i = i + 1) { s = s + i; } }",
+            procs=1,
+        )
+        assert result.per_proc_wait == [0]
+        assert result.utilization() == 1.0
+
+    def test_pipelining_raises_utilization(self):
+        from repro import OptLevel, compile_source
+
+        source = (
+            "shared double A[32];\n"
+            "void main() {\n"
+            "  double buf[8];\n"
+            "  int nb = (MYPROC + 1) % PROCS;\n"
+            "  for (int i = 0; i < 8; i = i + 1) {"
+            " A[MYPROC * 8 + i] = 1.0 * i; }\n"
+            "  barrier();\n"
+            "  for (int i = 0; i < 8; i = i + 1) {"
+            " buf[i] = A[nb * 8 + i]; }\n"
+            "  barrier();\n"
+            "}"
+        )
+        blocking = compile_source(source, OptLevel.O0).run(4, CM5, seed=0)
+        pipelined = compile_source(source, OptLevel.O2).run(4, CM5, seed=0)
+        assert pipelined.total_wait_cycles < blocking.total_wait_cycles
+        assert pipelined.utilization() > blocking.utilization()

@@ -1,0 +1,70 @@
+"""Error-type unit tests."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CodegenError,
+    ConsistencyViolation,
+    DeadlockError,
+    LexError,
+    ParseError,
+    ReproError,
+    RuntimeFault,
+    SourceError,
+    SourceLocation,
+    TypeError_,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            SourceError,
+            LexError,
+            ParseError,
+            TypeError_,
+            AnalysisError,
+            CodegenError,
+            RuntimeFault,
+            DeadlockError,
+            ConsistencyViolation,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_deadlock_is_a_runtime_fault(self):
+        assert issubclass(DeadlockError, RuntimeFault)
+
+    def test_source_errors_are_source_errors(self):
+        for cls in (LexError, ParseError, TypeError_):
+            assert issubclass(cls, SourceError)
+
+
+class TestSourceLocation:
+    def test_str(self):
+        loc = SourceLocation(3, 7, "prog.ms")
+        assert str(loc) == "prog.ms:3:7"
+
+    def test_default_filename(self):
+        assert str(SourceLocation(1, 1)) == "<input>:1:1"
+
+    def test_frozen(self):
+        loc = SourceLocation(1, 1)
+        with pytest.raises(Exception):
+            loc.line = 2
+
+
+class TestSourceErrorFormatting:
+    def test_message_includes_location(self):
+        error = ParseError("unexpected token", SourceLocation(2, 5, "f.ms"))
+        assert "f.ms:2:5" in str(error)
+        assert "unexpected token" in str(error)
+        assert error.location.line == 2
+
+    def test_message_without_location(self):
+        error = TypeError_("no main")
+        assert str(error) == "no main"
+        assert error.location is None
