@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples smoke all
+.PHONY: test bench perf examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+perf:
+	$(PYTHON) -m pytest benchmarks/bench_perf.py -q -s
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro import OptLevel, compile_source
+from repro import OptLevel
 from repro.codegen.pipeline import CompiledProgram
 from repro.runtime import CM5, MachineConfig
 from repro.runtime.simulator import SimulationResult
@@ -34,10 +34,29 @@ _run_cache: Dict[Tuple[str, OptLevel, int, int, str, int],
 
 
 def compile_cached(source: str, level: OptLevel) -> CompiledProgram:
+    """In-memory + on-disk compile cache (see repro.perf.parallel).
+
+    Repeated bench runs skip analysis entirely; set
+    ``REPRO_COMPILE_CACHE=0`` to force cold compiles.
+    """
     key = (source, level)
     if key not in _compile_cache:
-        _compile_cache[key] = compile_source(source, level)
+        from repro.perf.parallel import compile_with_cache
+
+        _compile_cache[key] = compile_with_cache(source, level)
     return _compile_cache[key]
+
+
+def warm_compile_cache(
+    jobs, processes=None
+) -> Dict[Tuple[str, OptLevel], CompiledProgram]:
+    """Pre-fills the compile cache for (source, level) jobs in parallel."""
+    from repro.perf.parallel import compile_many
+
+    programs = compile_many(jobs, processes=processes)
+    for (source, level), program in zip(jobs, programs):
+        _compile_cache[(source, level)] = program
+    return _compile_cache
 
 
 def run_cached(

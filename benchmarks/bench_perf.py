@@ -1,0 +1,136 @@
+"""Analysis-pipeline performance tracking: writes ``BENCH_analysis.json``.
+
+Not a paper table: this bench records the *cost* of the compiler's own
+analyses — wall time per synthetic program size, per-pass timings and
+engine/cache counters for every application kernel — so the performance
+trajectory is visible PR-over-PR.  Run with::
+
+    pytest benchmarks/bench_perf.py -q -s        (or ``make perf``)
+
+The JSON schema is documented in EXPERIMENTS.md ("Performance").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.delays import AnalysisLevel, analyze_function
+from repro.apps import ALL_APPS
+from repro.cli import main as cli_main
+from repro.compiler import frontend
+from repro.ir.inline import inline_all
+from repro.perf import profiled
+
+from benchmarks.bench_common import print_table
+from benchmarks.bench_compile_time import _program_for
+
+#: Synthetic sizes matching bench_compile_time's scaling ladder.
+SIZES = (8, 16, 32, 64)
+
+OUTPUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_analysis.json",
+)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cache_hit_rate(counters) -> float:
+    hits = counters.get("engine.closure_cache_hits", 0)
+    misses = counters.get("engine.closures", 0)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def test_perf_trajectory():
+    """Measures analysis cost and writes the tracking JSON artifact."""
+    payload = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "synthetic": {},
+        "apps": {},
+    }
+
+    rows = []
+    for size in SIZES:
+        module = inline_all(frontend(_program_for(size)))
+        with profiled() as prof:
+            result = analyze_function(module.main, AnalysisLevel.SYNC)
+        seconds = _best_of(
+            lambda: analyze_function(module.main, AnalysisLevel.SYNC)
+        )
+        counters = prof.to_dict()["counters"]
+        payload["synthetic"][str(size)] = {
+            "seconds": seconds,
+            "accesses": result.stats.num_accesses,
+            "delays": result.stats.delay_size,
+            "counters": counters,
+        }
+        rows.append(
+            (size, result.stats.num_accesses, result.stats.delay_size,
+             f"{seconds:.4f}")
+        )
+        assert result.stats.delay_size > 0
+    print_table(
+        "analysis wall time, synthetic barrier program",
+        ("size", "accesses", "delays", "seconds"),
+        rows,
+    )
+
+    rows = []
+    for app in ALL_APPS:
+        module = inline_all(frontend(app.source(4)))
+        with profiled() as prof:
+            result = analyze_function(module.main, AnalysisLevel.SYNC)
+        profile = prof.to_dict()
+        counters = profile["counters"]
+        payload["apps"][app.name] = {
+            "seconds": profile["total_seconds"],
+            "accesses": result.stats.num_accesses,
+            "delays": result.stats.delay_size,
+            "closure_cache_hit_rate": _cache_hit_rate(counters),
+            "passes": profile["passes"],
+            "counters": counters,
+        }
+        rows.append(
+            (app.name, result.stats.num_accesses, result.stats.delay_size,
+             counters.get("engine.closures", 0),
+             f"{_cache_hit_rate(counters):.2f}")
+        )
+        # Every app must report engine work through the profiler.
+        assert counters.get("engine.closures", 0) > 0
+    print_table(
+        "per-app analysis cost (4 procs, SYNC level)",
+        ("app", "accesses", "delays", "closures", "cache hit rate"),
+        rows,
+    )
+
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {OUTPUT_PATH}")
+
+
+def test_cli_profile_every_app(tmp_path, capsys):
+    """``--profile`` emits cache-hit/closure-count JSON for every app."""
+    for app in ALL_APPS:
+        source_path = tmp_path / f"{app.name}.ms"
+        source_path.write_text(app.source(4))
+        status = cli_main(["analyze", str(source_path), "--profile"])
+        assert status == 0
+        output = capsys.readouterr().out
+        profile = json.loads(output[output.index('{"version"'):]
+                             if '{"version"' in output
+                             else output[output.index("{"):])
+        counters = profile["counters"]
+        assert "engine.closures" in counters
+        assert "engine.closure_cache_hits" in counters
+        assert profile["passes"], app.name

@@ -43,6 +43,13 @@ def _domains(meta: Optional[IndexMeta]) -> Dict[str, VarDomain]:
     return domains
 
 
+#: Pair-level memo over (IndexMeta, IndexMeta, same_processor): the
+#: answer depends only on the (frozen, hashable) index metadata, and
+#: real programs repeat a few index shapes across many accesses.
+_COLLIDE_CACHE_LIMIT = 1 << 16
+_collide_cache: Dict[tuple, bool] = {}
+
+
 def indices_may_collide(
     a: Access, b: Access, same_processor: bool = False
 ) -> bool:
@@ -52,7 +59,22 @@ def indices_may_collide(
     conflict-set question (``p != q``); with ``same_processor=True`` it
     is the local-dependence question used by code generation.
     """
-    meta_a, meta_b = a.meta, b.meta
+    key = (a.meta, b.meta, same_processor)
+    cached = _collide_cache.get(key)
+    if cached is not None:
+        return cached
+    answer = _indices_may_collide(a.meta, b.meta, same_processor)
+    if len(_collide_cache) >= _COLLIDE_CACHE_LIMIT:
+        _collide_cache.clear()
+    _collide_cache[key] = answer
+    return answer
+
+
+def _indices_may_collide(
+    meta_a: Optional[IndexMeta],
+    meta_b: Optional[IndexMeta],
+    same_processor: bool,
+) -> bool:
     if not same_processor:
         guard_a = meta_a.proc_guard if meta_a is not None else None
         guard_b = meta_b.proc_guard if meta_b is not None else None
@@ -168,11 +190,14 @@ def local_dependence_pairs(
     for access in accesses.data_accesses():
         by_var.setdefault(access.var, []).append(access)
     for members in by_var.values():
-        for a in members:
-            for b in members:
-                if not _kinds_conflict(a, b):
+        writes = [a.is_write for a in members]
+        for ai, a in enumerate(members):
+            a_row = accesses.p_row(a)
+            a_writes = writes[ai]
+            for bi, b in enumerate(members):
+                if not (a_writes or writes[bi]):
                     continue
-                if not accesses.program_order(a, b):
+                if not a_row >> b.index & 1:
                     continue
                 if a.index == b.index:
                     # Loop-carried self-dependence: the two instances

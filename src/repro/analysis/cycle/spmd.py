@@ -24,6 +24,7 @@ O(accesses^2 * accesses/64) in practice.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.accesses import Access, AccessSet
@@ -37,25 +38,94 @@ def _iter_bits(mask: int) -> Iterable[int]:
         mask ^= low
 
 
+@dataclass
+class EngineStats:
+    """Work counters for the profiler (``--profile``)."""
+
+    closures: int = 0  # BFS closures actually run
+    closure_cache_hits: int = 0
+    closures_reused: int = 0  # transferred from a prior engine
+    masked_rows: int = 0  # exclusion-masked t-rows computed
+    masked_row_hits: int = 0
+    mask_groups: int = 0  # distinct (source, exclusion-mask) groups
+    excluded_pair_queries: int = 0
+    t_rows_reused: int = 0  # t-rows inherited from a prior engine
+
+    def as_counters(self, prefix: str = "engine.") -> Dict[str, int]:
+        return {
+            f"{prefix}closures": self.closures,
+            f"{prefix}closure_cache_hits": self.closure_cache_hits,
+            f"{prefix}closures_reused": self.closures_reused,
+            f"{prefix}masked_rows": self.masked_rows,
+            f"{prefix}masked_row_hits": self.masked_row_hits,
+            f"{prefix}mask_groups": self.mask_groups,
+            f"{prefix}excluded_pair_queries": self.excluded_pair_queries,
+            f"{prefix}t_rows_reused": self.t_rows_reused,
+        }
+
+
 class BackPathEngine:
     """Answers back-path queries against one (P, C) configuration.
 
     The conflict set may be directed (after §5's orientation); build a
-    fresh engine after mutating it.
+    fresh engine after mutating it.  ``reuse_from`` lets a successor
+    engine over the *same* access set inherit the program-order tables
+    and every t-row whose in-visit conflict rows are unchanged — and,
+    when no row changed at all, the predecessor's entire closure cache.
+
+    Closures are memoized per (source, exclusion-mask): the exclusion
+    masks produced by §5's rules are highly shared (they come from
+    precedence successor/predecessor rows), so one BFS typically serves
+    many delay-candidate pairs.
     """
 
-    def __init__(self, accesses: AccessSet, conflicts: ConflictSet):
+    def __init__(
+        self,
+        accesses: AccessSet,
+        conflicts: ConflictSet,
+        reuse_from: Optional["BackPathEngine"] = None,
+    ):
         self._accesses = accesses
         self._conflicts = conflicts
         n = len(accesses)
         self._n = n
+        self.stats = EngineStats()
+        #: (source index, excluded mask) -> (closure, final) bitsets.
+        self._closure_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: (node index, excluded mask) -> masked visit-continuation row.
+        self._masked_t_cache: Dict[Tuple[int, int], int] = {}
+        self._p_pred: Optional[List[int]] = None
+        self._c_rows: List[int] = [
+            conflicts.row_by_index(i) for i in range(n)
+        ]
+        if reuse_from is not None and reuse_from._accesses is accesses:
+            # P* only depends on the access set: share it outright.
+            self._pstar_self = reuse_from._pstar_self
+            self._p_pred = reuse_from._p_pred
+            changed = 0
+            for i in range(n):
+                if reuse_from._c_rows[i] != self._c_rows[i]:
+                    changed |= 1 << i
+            self._t_rows = []
+            for x in range(n):
+                if self._pstar_self[x] & changed == 0:
+                    self._t_rows.append(reuse_from._t_rows[x])
+                    self.stats.t_rows_reused += 1
+                else:
+                    row = 0
+                    for y in _iter_bits(self._pstar_self[x]):
+                        row |= self._c_rows[y]
+                    self._t_rows.append(row)
+            if changed == 0:
+                # Identical graph: every memoized closure still holds.
+                self._closure_cache = dict(reuse_from._closure_cache)
+                self._masked_t_cache = dict(reuse_from._masked_t_cache)
+                self.stats.closures_reused = len(self._closure_cache)
+            return
         # P* including self: one "processor visit" is x (then optionally
         # a later access y of the same copy).
         self._pstar_self: List[int] = [
             accesses.p_row(a) | (1 << a.index) for a in accesses
-        ]
-        self._c_rows: List[int] = [
-            conflicts.row_by_index(i) for i in range(n)
         ]
         # T[x] = union of C rows over the in-visit continuations of x.
         self._t_rows: List[int] = []
@@ -67,6 +137,26 @@ class BackPathEngine:
 
     # -- closures ---------------------------------------------------------
 
+    def _masked_t_row(self, x: int, excluded: int, allowed: int) -> int:
+        """The visit-continuation row of ``x`` under an exclusion mask.
+
+        Computed once per (x, excluded) for the engine's lifetime — not
+        once per frontier occurrence — since closures from different
+        sources overwhelmingly share exclusion masks.
+        """
+        key = (x, excluded)
+        row = self._masked_t_cache.get(key)
+        if row is None:
+            row = 0
+            # The in-visit partner y must not be excluded either.
+            for y in _iter_bits(self._pstar_self[x] & allowed):
+                row |= self._c_rows[y]
+            self._masked_t_cache[key] = row
+            self.stats.masked_rows += 1
+        else:
+            self.stats.masked_row_hits += 1
+        return row
+
     def _closure_from(self, v_index: int, excluded: int = 0) -> Tuple[int, int]:
         """Returns (closure, final) bitsets for back-paths starting at v.
 
@@ -76,6 +166,11 @@ class BackPathEngine:
         from ``v``.  ``excluded`` masks accesses that may not appear as
         intermediate path members (§5's pruning rules).
         """
+        key = (v_index, excluded)
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            self.stats.closure_cache_hits += 1
+            return cached
         allowed = ~excluded
         start = self._c_rows[v_index] & allowed
         closure = 0
@@ -86,17 +181,26 @@ class BackPathEngine:
             next_frontier = 0
             for x in _iter_bits(frontier):
                 if excluded:
-                    # Recompute the visit continuation with exclusions:
-                    # the in-visit partner y must not be excluded either.
-                    t_row = 0
-                    for y in _iter_bits(self._pstar_self[x] & allowed):
-                        t_row |= self._c_rows[y]
+                    t_row = self._masked_t_row(x, excluded, allowed)
                 else:
                     t_row = self._t_rows[x]
                 final |= t_row
                 next_frontier |= t_row & allowed & ~closure
             frontier = next_frontier
+        self.stats.closures += 1
+        self._closure_cache[key] = (closure, final)
         return closure, final
+
+    def _p_pred_rows(self) -> List[int]:
+        """Transposed program order: bit u of row v set iff u P v."""
+        if self._p_pred is None:
+            pred = [0] * self._n
+            for a in self._accesses:
+                bit = 1 << a.index
+                for v in _iter_bits(self._accesses.p_row(a)):
+                    pred[v] |= bit
+            self._p_pred = pred
+        return self._p_pred
 
     def back_path_targets(self, v: Access, excluded: int = 0) -> int:
         """Bitset of all ``u`` such that [u, v] has a back-path."""
@@ -122,25 +226,42 @@ class BackPathEngine:
         when provided, pairs surviving the unexcluded test are re-checked
         with their exclusions (exclusions only remove paths, so the
         unexcluded pass is a sound over-approximation to filter with).
+
+        Surviving pairs are grouped by (source, exclusion mask): each
+        distinct mask triggers exactly one excluded closure, answering
+        every pair in its group from the resulting ``final`` bitset.
         """
         delays: Set[Tuple[int, int]] = set()
         accesses = list(self._accesses)
+        p_pred = self._p_pred_rows()
+        #: (v index, exclusion mask) -> candidate u indices.
+        groups: Dict[Tuple[int, int], List[int]] = {}
         for v in accesses:
             targets = self.back_path_targets(v)
-            if not targets:
+            # Delay candidates need u P v: intersect with the transposed
+            # program order and walk only the set bits.
+            candidates = targets & p_pred[v.index]
+            if not candidates:
                 continue
-            for u in accesses:
-                if not targets >> u.index & 1:
-                    continue
-                if not self._accesses.program_order(u, v):
-                    continue
+            for u_index in _iter_bits(candidates):
+                u = accesses[u_index]
                 if pair_filter is not None and not pair_filter(u, v):
                     continue
                 if excluded_for is not None:
                     excluded = excluded_for(u, v)
-                    if excluded and not self.has_back_path(u, v, excluded):
+                    if excluded:
+                        groups.setdefault(
+                            (v.index, excluded), []
+                        ).append(u_index)
                         continue
-                delays.add((u.index, v.index))
+                delays.add((u_index, v.index))
+        self.stats.mask_groups += len(groups)
+        for (v_index, excluded), members in groups.items():
+            _closure, final = self._closure_from(v_index, excluded)
+            for u_index in members:
+                self.stats.excluded_pair_queries += 1
+                if final >> u_index & 1:
+                    delays.add((u_index, v_index))
         return delays
 
 

@@ -26,7 +26,7 @@ from repro.analysis.conflicts import (
     ConflictSet,
     local_dependence_pairs,
 )
-from repro.analysis.cycle.spmd import BackPathEngine
+from repro.analysis.cycle.spmd import BackPathEngine, _iter_bits
 from repro.analysis.sync.barriers import BarrierPhases, BarrierSegments
 from repro.analysis.sync.locks import LockGuards
 from repro.analysis.sync.postwait import match_post_wait
@@ -94,15 +94,22 @@ def analyze_function(
     level: AnalysisLevel = AnalysisLevel.SYNC,
 ) -> AnalysisResult:
     """Runs delay-set analysis on one (fully inlined) SPMD function."""
+    from repro.analysis import symbolic
     from repro.ir.symrefine import refine_index_metadata
+    from repro.perf import profiler as perf
 
-    refine_index_metadata(function)
-    accesses = AccessSet(function)
-    conflicts = ConflictSet(accesses)
+    sym_before = symbolic.cache_counters()
+    with perf.pass_timer("analysis.refine-index"):
+        refine_index_metadata(function)
+    with perf.pass_timer("analysis.access-set"):
+        accesses = AccessSet(function)
+    with perf.pass_timer("analysis.conflict-set"):
+        conflicts = ConflictSet(accesses)
     engine = BackPathEngine(accesses, conflicts)
 
     if level is AnalysisLevel.SAS:
-        delays = engine.delay_set()
+        with perf.pass_timer("analysis.sas-delay-set"):
+            delays = engine.delay_set()
         result = AnalysisResult(
             level=level,
             accesses=accesses,
@@ -112,69 +119,82 @@ def analyze_function(
             d1=set(),
             delays_by_index=delays,
         )
+        _record_engine_counters(sym_before, engine)
         return _finish(result, function)
 
-    dominators = DominatorTree(function)
+    with perf.pass_timer("analysis.dominators"):
+        dominators = DominatorTree(function)
 
     # Step 2: initial delay restrictions — pairs involving a sync access.
-    d1 = engine.delay_set(pair_filter=_sync_pair_filter)
+    with perf.pass_timer("analysis.d1"):
+        d1 = engine.delay_set(pair_filter=_sync_pair_filter)
 
     # Step 3: direct precedence edges.
-    precedence = PrecedenceRelation(accesses)
-    for post, wait in match_post_wait(accesses):
-        precedence.add(post, wait)
-    phases = BarrierPhases(accesses)
-    for a, b in phases.ordered_pairs():
-        precedence.add(a, b)
-    # "R is expanded to include the transitive closure of itself and D1."
-    precedence.add_pairs(d1)
-    precedence.transitive_close()
+    with perf.pass_timer("analysis.precedence"):
+        precedence = PrecedenceRelation(accesses)
+        for post, wait in match_post_wait(accesses):
+            precedence.add(post, wait)
+        phases = BarrierPhases(accesses)
+        for a, b in phases.ordered_pairs():
+            precedence.add(a, b)
+        # "R is expanded to include the transitive closure of itself
+        # and D1."
+        precedence.add_pairs(d1)
+        precedence.transitive_close()
 
-    # Step 4: the dominator refinement, to fixpoint.
-    precedence.refine_with_dominators(d1, dominators)
+        # Step 4: the dominator refinement, to fixpoint.
+        precedence.refine_with_dominators(d1, dominators)
 
     # Step 5: orient conflict edges implied by the precedence.
-    oriented = conflicts.copy()
-    access_list = list(accesses)
-    for a1_index, a2_index in precedence.pairs():
-        oriented.remove_direction(
-            access_list[a2_index], access_list[a1_index]
-        )
+    with perf.pass_timer("analysis.orient"):
+        oriented = conflicts.copy()
+        access_list = list(accesses)
+        for a1_index, a2_index in precedence.pairs():
+            oriented.remove_direction(
+                access_list[a2_index], access_list[a1_index]
+            )
 
-    # §5.2: drop conflict edges between barrier-separated data accesses.
-    # Their instances never share a global phase, and D1 (already
-    # computed, with the full conflict set) anchors each access to its
-    # phase boundaries with [access, barrier] delays.
-    segments = BarrierSegments(accesses)
-    for a in access_list:
-        if a.is_sync:
-            continue
-        row = oriented.row(a)
-        for b in access_list:
-            if b.is_sync or not row >> b.index & 1:
+        # §5.2: drop conflict edges between barrier-separated data
+        # accesses.  Their instances never share a global phase, and D1
+        # (already computed, with the full conflict set) anchors each
+        # access to its phase boundaries with [access, barrier] delays.
+        segments = BarrierSegments(accesses)
+        for a in access_list:
+            if a.is_sync:
                 continue
-            if segments.separated(a, b):
-                oriented.remove_direction(a, b)
-                oriented.remove_direction(b, a)
+            for b_index in _iter_bits(oriented.row(a)):
+                b = access_list[b_index]
+                if b.is_sync:
+                    continue
+                if segments.separated(a, b):
+                    oriented.remove_direction(a, b)
+                    oriented.remove_direction(b, a)
 
-    # Step 6: final delay set over P ∪ C1 with access pruning.
-    guards = LockGuards(accesses, dominators, d1)
-    engine2 = BackPathEngine(accesses, oriented)
+    # Step 6: final delay set over P ∪ C1 with access pruning.  The
+    # second engine inherits the first engine's program-order tables and
+    # every t-row (and, when orientation removed no edges, its whole
+    # closure cache) where conflict rows are unchanged.
+    with perf.pass_timer("analysis.final-delays"):
+        guards = LockGuards(accesses, dominators, d1)
+        engine2 = BackPathEngine(accesses, oriented, reuse_from=engine)
 
-    def excluded_for(u: Access, v: Access) -> int:
-        # Figure 6's rule and its dual: accesses forced after u, or
-        # forced before v, cannot appear in a back-path from v to u.
-        mask = precedence.successors_mask(u.index)
-        mask |= precedence.predecessors_mask(v.index)
-        mask &= ~(1 << u.index)
-        mask &= ~(1 << v.index)
-        # The §5.3 lock exclusion may legitimately include u and v
-        # themselves (their other-processor instances are guarded too).
-        mask |= guards.exclusion_mask(u, v)
-        return mask
+        pred_masks = precedence.predecessor_masks()
 
-    delays = engine2.delay_set(excluded_for=excluded_for)
-    delays |= d1
+        def excluded_for(u: Access, v: Access) -> int:
+            # Figure 6's rule and its dual: accesses forced after u, or
+            # forced before v, cannot appear in a back-path from v to u.
+            mask = precedence.successors_mask(u.index)
+            mask |= pred_masks[v.index]
+            mask &= ~(1 << u.index)
+            mask &= ~(1 << v.index)
+            # The §5.3 lock exclusion may legitimately include u and v
+            # themselves (their other-processor instances are guarded
+            # too).
+            mask |= guards.exclusion_mask(u, v)
+            return mask
+
+        delays = engine2.delay_set(excluded_for=excluded_for)
+        delays |= d1
 
     result = AnalysisResult(
         level=level,
@@ -185,17 +205,47 @@ def analyze_function(
         d1=d1,
         delays_by_index=delays,
     )
+    _record_engine_counters(sym_before, engine, engine2)
     return _finish(result, function)
 
 
+def _record_engine_counters(
+    sym_before: Dict[str, int], *engines: BackPathEngine
+) -> None:
+    """Transfers engine and symbolic-cache work counters in bulk.
+
+    The symbolic caches are module-global and cumulative, so only the
+    delta since this analysis started is attributed to it.
+    """
+    from repro.analysis import symbolic
+    from repro.perf import profiler as perf
+
+    profiler = perf.current()
+    if profiler is None:
+        return
+    for engine in engines:
+        profiler.count_many(engine.stats.as_counters())
+    profiler.count_many(
+        {
+            name: value - sym_before.get(name, 0)
+            for name, value in symbolic.cache_counters().items()
+        }
+    )
+
+
 def _finish(result: AnalysisResult, function: Function) -> AnalysisResult:
+    from repro.perf import profiler as perf
+
     accesses = result.accesses
     access_list = list(accesses)
     result.delay_uid_pairs = frozenset(
         (access_list[u].uid, access_list[v].uid)
         for u, v in result.delays_by_index
     )
-    result.local_dep_uid_pairs = frozenset(local_dependence_pairs(accesses))
+    with perf.pass_timer("analysis.local-deps"):
+        result.local_dep_uid_pairs = frozenset(
+            local_dependence_pairs(accesses)
+        )
     stats = result.stats
     stats.num_accesses = len(accesses)
     stats.num_sync_accesses = len(accesses.sync_accesses())

@@ -405,6 +405,36 @@ def _enumerate_solve_delta(
     return False
 
 
+#: Memo tables for the two entry-point feasibility tests.  The answers
+#: are purely mathematical functions of hashable immutable arguments
+#: (frozen SymExpr / VarDomain dataclasses), so the caches are safe to
+#: share across compilations; they are cleared wholesale if they ever
+#: exceed ``_CACHE_LIMIT`` entries.  Real programs repeat a handful of
+#: index shapes across hundreds of accesses, making these tests one of
+#: the hottest parts of conflict-set construction without the memo.
+_CACHE_LIMIT = 1 << 16
+_may_equal_cache: Dict[tuple, bool] = {}
+_iter_collide_cache: Dict[tuple, bool] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cache_counters() -> Dict[str, int]:
+    """Cumulative hit/miss counters, for the pass profiler."""
+    return {
+        "symbolic.cache_hits": _cache_hits,
+        "symbolic.cache_misses": _cache_misses,
+    }
+
+
+def _norm_domains(
+    domains: Optional[Mapping[str, VarDomain]],
+) -> Tuple[Tuple[str, VarDomain], ...]:
+    if not domains:
+        return ()
+    return tuple(sorted(domains.items()))
+
+
 def may_be_equal(
     left: MaybeSymExpr,
     right: MaybeSymExpr,
@@ -422,15 +452,33 @@ def may_be_equal(
 
     Returns True ("may collide") unless disjointness is *proved*.
     """
+    global _cache_hits, _cache_misses
     if left is OPAQUE or right is OPAQUE:
         return True
+    key = (
+        left,
+        right,
+        _norm_domains(left_domains),
+        _norm_domains(right_domains),
+        same_processor,
+    )
+    cached = _may_equal_cache.get(key)
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
     if left.perm_terms or right.perm_terms:
-        return _may_be_equal_perm(
+        answer = _may_be_equal_perm(
             left, right, left_domains, right_domains, same_processor
         )
-    return _may_be_equal_affine(
-        left, right, left_domains, right_domains, same_processor
-    )
+    else:
+        answer = _may_be_equal_affine(
+            left, right, left_domains, right_domains, same_processor
+        )
+    if len(_may_equal_cache) >= _CACHE_LIMIT:
+        _may_equal_cache.clear()
+    _may_equal_cache[key] = answer
+    return answer
 
 
 def _decompose_proc_term(form: SymExpr):
@@ -652,6 +700,25 @@ def _may_be_equal_affine(
 
 
 def distinct_iterations_may_collide(
+    forms: Tuple[SymExpr, ...],
+    loop_domains: Mapping[str, VarDomain],
+) -> bool:
+    """Memoized front end of :func:`_distinct_iterations_may_collide`."""
+    global _cache_hits, _cache_misses
+    key = (forms, _norm_domains(loop_domains))
+    cached = _iter_collide_cache.get(key)
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
+    answer = _distinct_iterations_may_collide(forms, loop_domains)
+    if len(_iter_collide_cache) >= _CACHE_LIMIT:
+        _iter_collide_cache.clear()
+    _iter_collide_cache[key] = answer
+    return answer
+
+
+def _distinct_iterations_may_collide(
     forms: Tuple[SymExpr, ...],
     loop_domains: Mapping[str, VarDomain],
 ) -> bool:

@@ -17,7 +17,7 @@ when a2 executes, b2 has executed before it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.accesses import Access, AccessSet
 from repro.ir.dominators import DominatorTree
@@ -30,17 +30,20 @@ class PrecedenceRelation:
         self._accesses = accesses
         self._n = len(accesses)
         self._rows: List[int] = [0] * self._n
+        self._pred_masks: Optional[List[int]] = None  # lazy transpose
 
     # -- basic operations ---------------------------------------------------
 
     def add(self, a: Access, b: Access) -> None:
         if a.index != b.index:
             self._rows[a.index] |= 1 << b.index
+            self._pred_masks = None
 
     def add_pairs(self, pairs: Iterable[Tuple[int, int]]) -> None:
         for ai, bi in pairs:
             if ai != bi:
                 self._rows[ai] |= 1 << bi
+        self._pred_masks = None
 
     def has(self, a: Access, b: Access) -> bool:
         return bool(self._rows[a.index] >> b.index & 1)
@@ -51,13 +54,21 @@ class PrecedenceRelation:
     def successors_mask(self, index: int) -> int:
         return self._rows[index]
 
+    def predecessor_masks(self) -> List[int]:
+        """The transposed relation, computed once per mutation epoch."""
+        if self._pred_masks is None:
+            masks = [0] * self._n
+            for i, row in enumerate(self._rows):
+                bit = 1 << i
+                while row:
+                    low = row & -row
+                    masks[low.bit_length() - 1] |= bit
+                    row ^= low
+            self._pred_masks = masks
+        return self._pred_masks
+
     def predecessors_mask(self, index: int) -> int:
-        mask = 0
-        bit = 1 << index
-        for i, row in enumerate(self._rows):
-            if row & bit:
-                mask |= 1 << i
-        return mask
+        return self.predecessor_masks()[index]
 
     def pair_count(self) -> int:
         return sum(bin(row).count("1") for row in self._rows)
@@ -91,6 +102,7 @@ class PrecedenceRelation:
                 new_row &= ~(1 << i)  # keep irreflexive
                 if new_row != row:
                     self._rows[i] = new_row
+                    self._pred_masks = None
                     changed = True
 
     # -- the §5.1 dominator refinement ---------------------------------------
@@ -145,6 +157,7 @@ class PrecedenceRelation:
                         continue
                     if reach & d1_pred_dom[a2.index]:
                         self._rows[a1.index] |= 1 << a2.index
+                        self._pred_masks = None
                         added += 1
                         changed = True
             if changed:

@@ -30,6 +30,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("source", help="MiniSplit source file")
 
 
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="emit per-pass wall-time and counter JSON after the command",
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     level = (
         AnalysisLevel.SAS if args.level == "sas" else AnalysisLevel.SYNC
@@ -98,13 +105,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench_app(args: argparse.Namespace) -> int:
     from repro.apps import get_app
+    from repro.perf.parallel import compile_many
 
     app = get_app(args.app)
     machine = get_machine(args.machine)
     source = app.source(args.procs)
     print(f"{app.name}: {app.description}")
-    for level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
-        program = compile_source(source, level)
+    levels = (OptLevel.O1, OptLevel.O2, OptLevel.O3)
+    programs = compile_many(
+        [(source, level) for level in levels],
+        processes=args.jobs,
+        use_cache=False if args.no_cache else None,
+    )
+    for level, program in zip(levels, programs):
         result = program.run(args.procs, machine, seed=args.seed)
         print(
             f"  {level.value}: {result.cycles} cycles, "
@@ -140,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --report: show the violation cycle each delay "
              "prevents",
     )
+    _add_profile(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     compile_cmd = subparsers.add_parser(
@@ -156,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--splitc", action="store_true",
         help="with --emit: print Split-C-style surface syntax instead",
     )
+    _add_profile(compile_cmd)
     compile_cmd.set_defaults(func=_cmd_compile)
 
     run = subparsers.add_parser(
@@ -174,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump", type=int, default=0, metavar="N",
         help="print the first N elements of each shared variable",
     )
+    _add_profile(run)
     run.set_defaults(func=_cmd_run)
 
     bench = subparsers.add_parser(
@@ -185,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", choices=sorted(MACHINES), default="cm5"
     )
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="compile the optimization levels across N processes "
+             "(0/1 = in-process)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk compile cache for this run",
+    )
+    _add_profile(bench)
     bench.set_defaults(func=_cmd_bench_app)
     return parser
 
@@ -192,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        from repro.perf import profiled
+
+        with profiled() as prof:
+            status = args.func(args)
+        print(prof.to_json())
+        return status
     return args.func(args)
 
 

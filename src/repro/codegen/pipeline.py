@@ -126,9 +126,12 @@ def compile_module(
     With ``clone=True`` (default) the input module is left untouched —
     benches compile one module at several levels.
     """
+    from repro.perf import profiler as perf
+
     if clone:
         module = copy.deepcopy(module)
-    inline_all(module)
+    with perf.pass_timer("codegen.inline"):
+        inline_all(module)
     main = module.main
 
     if opt_level is OptLevel.O0:
@@ -138,29 +141,42 @@ def compile_module(
     level = (
         AnalysisLevel.SAS if opt_level is OptLevel.O1 else AnalysisLevel.SYNC
     )
-    analysis = analyze_function(main, level)
+    with perf.pass_timer("analysis"):
+        analysis = analyze_function(main, level)
     constraints = MotionConstraints(analysis)
     report = CodegenReport()
 
-    info = convert_to_split_phase(main)
+    with perf.pass_timer("codegen.split-phase"):
+        info = convert_to_split_phase(main)
     report.converted_reads = info.converted_reads
     report.converted_writes = info.converted_writes
 
     if opt_level.rank >= 4:
-        report.gets_eliminated = eliminate_redundant_gets(
-            main, constraints, info
-        )
-        report.puts_eliminated = eliminate_dead_puts(main, constraints, info)
+        with perf.pass_timer("codegen.communication-elim"):
+            report.gets_eliminated = eliminate_redundant_gets(
+                main, constraints, info
+            )
+            report.puts_eliminated = eliminate_dead_puts(
+                main, constraints, info
+            )
 
-    report.gets_fused = fuse_gets_into_locals(main, info)
+    with perf.pass_timer("codegen.fuse-gets"):
+        report.gets_fused = fuse_gets_into_locals(main, info)
     if opt_level.rank >= 2:
-        report.gets_hoisted = hoist_gets(main, constraints)
-    report.sync_moves = place_syncs(main, constraints, info)
+        with perf.pass_timer("codegen.hoist-gets"):
+            report.gets_hoisted = hoist_gets(main, constraints)
+    with perf.pass_timer("codegen.sync-placement"):
+        report.sync_moves = place_syncs(main, constraints, info)
 
     if opt_level.rank >= 3:
-        report.one_way_conversions = convert_one_way(main, info)
+        with perf.pass_timer("codegen.one-way"):
+            report.one_way_conversions = convert_one_way(main, info)
 
-    report.counters_before, report.counters_after = coalesce_counters(main)
+    with perf.pass_timer("codegen.coalesce-counters"):
+        report.counters_before, report.counters_after = coalesce_counters(
+            main
+        )
 
-    verify_compiled(main)
+    with perf.pass_timer("codegen.verify"):
+        verify_compiled(main)
     return CompiledProgram(module, opt_level, analysis, report)

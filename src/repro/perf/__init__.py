@@ -1,0 +1,17 @@
+"""Performance infrastructure: pass-level profiling and parallel compiles.
+
+* :mod:`repro.perf.profiler` — wall-time/counter instrumentation for the
+  analysis and codegen pipelines (the ``--profile`` CLI flag).
+* :mod:`repro.perf.parallel` — multiprocessing compile fan-out plus the
+  on-disk compile cache that lets repeated bench/CLI runs skip analysis.
+"""
+
+from repro.perf.profiler import Profiler, count, current, pass_timer, profiled
+
+__all__ = [
+    "Profiler",
+    "count",
+    "current",
+    "pass_timer",
+    "profiled",
+]

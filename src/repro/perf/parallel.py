@@ -1,0 +1,204 @@
+"""Parallel compile fan-out and the on-disk compile cache.
+
+Two independent pieces, composable:
+
+* :func:`compile_many` compiles a batch of independent (source, level)
+  jobs across a ``multiprocessing`` pool — the analysis of one function
+  never depends on another, so whole-app compiles parallelize
+  trivially.  Falls back to in-process compilation when a pool cannot
+  be created (restricted sandboxes) or for tiny batches.
+
+* The on-disk cache persists pickled :class:`CompiledProgram` objects
+  under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``).
+  Keys combine a SHA-256 of the source text, the optimization level,
+  ``repro.__version__`` and a fingerprint of the installed ``repro``
+  package files (path, mtime, size), so editing either the program or
+  the compiler invalidates stale entries automatically.  Delete the
+  cache directory to force a cold run; set ``REPRO_COMPILE_CACHE=0``
+  to disable the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import List, Optional, Sequence, Tuple, Union
+
+LevelLike = Union[str, "object"]  # OptLevel or its string value
+
+#: Bump to invalidate every existing cache entry on format changes.
+_CACHE_SCHEMA = 1
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_COMPILE_CACHE", "1") != "0"
+
+
+def cache_dir() -> str:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-compile"
+    )
+
+
+_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """A cheap digest of the installed ``repro`` sources.
+
+    Hashes every module's (relative path, mtime, size) so in-place
+    edits to the compiler invalidate the cache without a version bump.
+    """
+    global _fingerprint
+    if _fingerprint is not None:
+        return _fingerprint
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for root, dirs, files in sorted(os.walk(package_dir)):
+        dirs.sort()
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            stat = os.stat(path)
+            rel = os.path.relpath(path, package_dir)
+            digest.update(
+                f"{rel}:{stat.st_mtime_ns}:{stat.st_size};".encode()
+            )
+    _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def _level_value(level: LevelLike) -> str:
+    return level if isinstance(level, str) else level.value
+
+
+def cache_key(source: str, level: LevelLike) -> str:
+    import repro
+
+    digest = hashlib.sha256()
+    digest.update(f"schema={_CACHE_SCHEMA};".encode())
+    digest.update(f"version={repro.__version__};".encode())
+    digest.update(f"code={code_fingerprint()};".encode())
+    digest.update(f"level={_level_value(level)};".encode())
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+def _cache_path(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.pkl")
+
+
+def load_cached(source: str, level: LevelLike):
+    """The cached CompiledProgram for (source, level), or None."""
+    if not cache_enabled():
+        return None
+    path = _cache_path(cache_key(source, level))
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+
+
+def store_cached(source: str, level: LevelLike, program) -> None:
+    if not cache_enabled():
+        return
+    directory = cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(program, handle)
+            os.replace(tmp_path, _cache_path(cache_key(source, level)))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only or full filesystem: caching is best-effort
+
+
+def compile_with_cache(source: str, level: LevelLike, use_cache: bool = True):
+    """compile_source with the on-disk cache in front of it."""
+    from repro import OptLevel, compile_source
+
+    level_enum = OptLevel(_level_value(level))
+    if use_cache:
+        program = load_cached(source, level_enum)
+        if program is not None:
+            from repro.perf import profiler
+
+            profiler.count("compile.disk_cache_hits")
+            return program
+    program = compile_source(source, level_enum)
+    if use_cache:
+        store_cached(source, level_enum, program)
+    return program
+
+
+def _compile_job(job: Tuple[str, str, bool]):
+    source, level_value, use_cache = job
+    return compile_with_cache(source, level_value, use_cache)
+
+
+def compile_many(
+    jobs: Sequence[Tuple[str, LevelLike]],
+    processes: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List["object"]:
+    """Compiles independent (source, level) jobs, fanning out to a pool.
+
+    Returns CompiledPrograms in job order.  ``processes=None`` sizes the
+    pool to ``min(len(jobs), cpu_count)``; 0/1 compiles in-process.
+    Duplicate jobs are compiled once.
+    """
+    if use_cache is None:
+        use_cache = cache_enabled()
+    normalized = [
+        (source, _level_value(level), use_cache) for source, level in jobs
+    ]
+    unique = list(dict.fromkeys(normalized))
+    if processes is None:
+        processes = min(len(unique), os.cpu_count() or 1)
+
+    results = {}
+    pending = unique
+    if use_cache:
+        pending = []
+        for job in unique:
+            cached = load_cached(job[0], job[1])
+            if cached is not None:
+                from repro.perf import profiler
+
+                profiler.count("compile.disk_cache_hits")
+                results[job] = cached
+            else:
+                pending.append(job)
+
+    if pending:
+        if processes > 1 and len(pending) > 1:
+            try:
+                import multiprocessing
+
+                with multiprocessing.Pool(
+                    min(processes, len(pending))
+                ) as pool:
+                    compiled = pool.map(_compile_job, pending)
+            except (OSError, ImportError, PermissionError):
+                compiled = [_compile_job(job) for job in pending]
+        else:
+            compiled = [_compile_job(job) for job in pending]
+        results.update(zip(pending, compiled))
+
+    return [results[job] for job in normalized]
