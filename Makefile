@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf examples smoke all
+.PHONY: test bench perf perf-gate fuzz examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +12,15 @@ bench:
 
 perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf.py -q -s
+
+perf-gate:
+	cp BENCH_analysis.json /tmp/BENCH_baseline.json
+	$(PYTHON) -m pytest benchmarks/bench_perf.py -q -s
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline /tmp/BENCH_baseline.json --fresh BENCH_analysis.json
+
+fuzz:
+	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile all
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done

@@ -1,0 +1,111 @@
+"""Perf-regression gate over ``BENCH_analysis.json``.
+
+Compares a freshly measured analysis-performance JSON against the
+committed baseline and fails (exit 1) when any tracked kernel — a
+synthetic scaling size or an application's end-to-end analysis — got
+more than ``--threshold`` times slower.  Entries faster than
+``--min-seconds`` in the *baseline* are ignored: at sub-millisecond
+scales CI timer noise swamps any real signal.
+
+The committed ``BENCH_analysis.json`` at the repo root *is* the
+baseline.  The CI ``perf-gate`` job copies it aside before the bench
+overwrites it::
+
+    cp BENCH_analysis.json /tmp/BENCH_baseline.json
+    python -m pytest benchmarks/bench_perf.py -q -s   # rewrites the JSON
+    python benchmarks/check_regression.py \
+        --baseline /tmp/BENCH_baseline.json --fresh BENCH_analysis.json
+
+Refreshing the baseline after an intentional perf change: ``make perf``
+and commit the rewritten ``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, Tuple
+
+
+def tracked_kernels(payload: dict) -> Iterator[Tuple[str, float]]:
+    """Yields (kernel name, seconds) for every gated measurement."""
+    for size, entry in sorted(payload.get("synthetic", {}).items()):
+        yield f"synthetic/{size}", float(entry["seconds"])
+    for app, entry in sorted(payload.get("apps", {}).items()):
+        yield f"apps/{app}", float(entry["seconds"])
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    threshold: float,
+    min_seconds: float,
+) -> Tuple[list, list]:
+    """Returns (report rows, regression rows)."""
+    base: Dict[str, float] = dict(tracked_kernels(baseline))
+    new: Dict[str, float] = dict(tracked_kernels(fresh))
+    rows, regressions = [], []
+    for kernel in sorted(base):
+        if kernel not in new:
+            rows.append((kernel, base[kernel], None, "missing"))
+            regressions.append((kernel, base[kernel], None, "missing"))
+            continue
+        before, after = base[kernel], new[kernel]
+        if before < min_seconds:
+            rows.append((kernel, before, after, "ignored (noise floor)"))
+            continue
+        ratio = after / before if before else float("inf")
+        verdict = f"{ratio:.2f}x"
+        row = (kernel, before, after, verdict)
+        rows.append(row)
+        if ratio > threshold:
+            regressions.append(row)
+    for kernel in sorted(set(new) - set(base)):
+        rows.append((kernel, None, new[kernel], "new (ungated)"))
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when analysis kernels regress vs baseline"
+    )
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="maximum allowed slowdown factor (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.005,
+        help="ignore baseline entries below this (timer noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    rows, regressions = compare(
+        baseline, fresh, args.threshold, args.min_seconds
+    )
+    width = max(len(row[0]) for row in rows) if rows else 10
+    for kernel, before, after, verdict in rows:
+        fmt = lambda value: "-" if value is None else f"{value * 1e3:9.2f}ms"
+        print(f"  {kernel:<{width}}  {fmt(before)} -> {fmt(after)}  "
+              f"{verdict}")
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} kernel(s) regressed beyond "
+            f"{args.threshold}x (noise floor {args.min_seconds * 1e3:g}ms):"
+        )
+        for kernel, _before, _after, verdict in regressions:
+            print(f"  {kernel}: {verdict}")
+        return 1
+    print(f"\nOK: no kernel slower than {args.threshold}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

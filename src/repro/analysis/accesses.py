@@ -15,11 +15,11 @@ pairs can interfere *across* processors.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.cfg import Function
-from repro.ir.instructions import IndexMeta, Instr, Opcode
+from repro.ir.instructions import IndexMeta, Opcode
 
 #: Pseudo-variable name carried by barrier accesses: every barrier
 #: "touches" this token, so barriers conflict with each other.

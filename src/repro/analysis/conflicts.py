@@ -22,10 +22,10 @@ distinct processors touch distinct elements (e.g. ``A[MYPROC]``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.accesses import Access, AccessKind, AccessSet
+from repro.analysis.accesses import Access, AccessSet
 from repro.analysis.symbolic import (
     VarDomain,
     distinct_iterations_may_collide,

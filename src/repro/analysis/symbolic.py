@@ -33,7 +33,7 @@ accesses provably never collide on distinct processors, for every legal
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import gcd
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 

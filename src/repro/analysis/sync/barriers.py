@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.accesses import Access, AccessKind, AccessSet
+from repro.analysis.accesses import Access, AccessSet
 from repro.ir.cfg import Function
 from repro.ir.instructions import Opcode
 

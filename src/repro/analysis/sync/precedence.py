@@ -17,7 +17,7 @@ when a2 executes, b2 has executed before it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.accesses import Access, AccessSet
 from repro.ir.dominators import DominatorTree

@@ -20,7 +20,6 @@ and severity sums per hospital.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.apps.base import App, Snapshot, assert_close
 

@@ -6,6 +6,8 @@
     repro compile program.ms [--opt O0..O4] [--emit]
     repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
     repro bench-app ocean [--procs 8] [--machine cm5]
+    repro fuzz [--iterations N | --budget-seconds S] [--seed 0]
+               [--profile mixed|sync_heavy|lock_heavy|...|all]
 
 ``repro`` is also usable as ``python -m repro``.
 """
@@ -105,15 +107,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench_app(args: argparse.Namespace) -> int:
     from repro.apps import get_app
-    from repro.perf.parallel import compile_many
+    from repro.perf.parallel import compile_levels
 
     app = get_app(args.app)
     machine = get_machine(args.machine)
     source = app.source(args.procs)
     print(f"{app.name}: {app.description}")
     levels = (OptLevel.O1, OptLevel.O2, OptLevel.O3)
-    programs = compile_many(
-        [(source, level) for level in levels],
+    programs = compile_levels(
+        source, levels,
         processes=args.jobs,
         use_cache=False if args.no_cache else None,
     )
@@ -123,6 +125,78 @@ def _cmd_bench_app(args: argparse.Namespace) -> int:
             f"  {level.value}: {result.cycles} cycles, "
             f"{result.total_messages} messages"
         )
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import PROFILES, FuzzConfig, run_campaign
+
+    def log(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    profiles = (
+        sorted(PROFILES) if args.profile == "all" else [args.profile]
+    )
+    budget = args.budget_seconds
+    iterations = args.iterations
+    if budget is not None:
+        budget = budget / len(profiles)
+    elif iterations is not None:
+        iterations = max(1, iterations // len(profiles))
+
+    per_profile = {}
+    totals = {
+        "programs": 0, "schedules_run": 0, "runs": 0,
+        "sc_checks": 0, "sc_skips": 0, "sc_violations": 0,
+        "failures": 0,
+    }
+    bundles = []
+    for index, profile in enumerate(profiles):
+        log(f"== profile {profile} ({index + 1}/{len(profiles)})")
+        config = FuzzConfig(
+            seed=args.seed,
+            profile=profile,
+            iterations=iterations,
+            budget_seconds=budget,
+            schedules_per_program=args.schedules,
+            levels=tuple(args.levels.split(",")),
+            sc_step_limit=args.step_limit,
+            failures_dir=args.failures_dir,
+            max_failures=args.max_failures,
+            minimize=not args.no_minimize,
+            jobs=args.jobs,
+            use_cache=False if args.no_cache else None,
+        )
+        stats = run_campaign(config, log=log).as_dict()
+        per_profile[profile] = stats
+        for key in totals:
+            if key == "failures":
+                totals[key] += len(stats["failures"])
+            else:
+                totals[key] += stats[key]
+        bundles.extend(stats["bundles"])
+
+    payload = {
+        "schema": 1,
+        "seed": args.seed,
+        "profiles": per_profile,
+        "totals": totals,
+        "bundles": bundles,
+    }
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    print(rendered)
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if totals["failures"]:
+        log(
+            f"{totals['failures']} failure(s); bundles under "
+            f"{args.failures_dir}/"
+        )
+        return 1
     return 0
 
 
@@ -212,13 +286,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_profile(bench)
     bench.set_defaults(func=_cmd_bench_app)
+
+    from repro.fuzz.progen import PROFILES as _FUZZ_PROFILES
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="run a differential fuzzing campaign (exit 1 on failures)",
+    )
+    fuzz.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N generated programs (per profile)",
+    )
+    fuzz.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="stop after S seconds of wall clock (split across "
+             "profiles with --profile all)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--profile",
+        choices=sorted(_FUZZ_PROFILES) + ["all"],
+        default="mixed",
+    )
+    fuzz.add_argument(
+        "--schedules", type=int, default=3, metavar="N",
+        help="adversarial schedules per program",
+    )
+    fuzz.add_argument(
+        "--levels", default="O0,O1,O3", metavar="L1,L2,...",
+        help="optimization levels to cross-check "
+             "(default the NAIVE/SHASHA_SNIR/SYNC trio)",
+    )
+    fuzz.add_argument(
+        "--step-limit", type=int, default=20_000,
+        help="SC-checker step budget; larger traces are skipped "
+             "and counted",
+    )
+    fuzz.add_argument("--failures-dir", default="fuzz-failures")
+    fuzz.add_argument(
+        "--max-failures", type=int, default=5,
+        help="stop a profile's campaign after this many failures",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="compile pool width (0/1 = in-process)",
+    )
+    fuzz.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk compile cache")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip delta-debugging failing programs")
+    fuzz.add_argument(
+        "--stats-out", default=None, metavar="PATH",
+        help="also write the campaign-stats JSON to PATH",
+    )
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress progress lines on stderr")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "profile", False):
+    # ``fuzz`` reuses the --profile name for its generator profile (a
+    # string); only the boolean store_true flag means perf profiling.
+    if getattr(args, "profile", False) is True:
         from repro.perf import profiled
 
         with profiled() as prof:

@@ -18,10 +18,9 @@ A ``sync_ctr`` for access ``o`` may move past instruction ``a`` unless:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Set, Tuple
 
 from repro.analysis.delays import AnalysisResult
-from repro.ir.instructions import Instr, Opcode, Temp
+from repro.ir.instructions import Instr, Opcode
 
 
 @dataclass

@@ -16,13 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.ir.cfg import Function, Module
-from repro.ir.instructions import (
-    BinOpKind,
-    Const,
-    Instr,
-    Opcode,
-    Operand,
-)
+from repro.ir.instructions import Const, Instr, Opcode, Operand
 
 
 def _operand(op: Operand) -> str:

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.codegen.splitphase import SplitPhaseInfo
 from repro.ir.cfg import BasicBlock, Function
-from repro.ir.instructions import Instr, Opcode
+from repro.ir.instructions import Opcode
 
 #: Opcodes a sync may look past when checking it sits "at" a barrier —
 #: other completions and one-way traffic do not observe the put.

@@ -29,7 +29,7 @@ from __future__ import annotations
 import copy
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.analysis.delays import (
     AnalysisLevel,

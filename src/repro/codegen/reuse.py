@@ -19,7 +19,7 @@ delay set (they are the code-motion duals of the pipelining pass):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.analysis.symbolic import SymExpr
 from repro.codegen.constraints import MotionConstraints

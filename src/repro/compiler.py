@@ -12,7 +12,6 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.analysis.delays import (
     AnalysisLevel,

@@ -1,0 +1,386 @@
+"""The differential fuzzing campaign driver.
+
+One campaign iteration:
+
+1. generate a seeded random program under the configured profile;
+2. check **delay-set monotonicity** (SYNC ⊆ Shasha–Snir ∪ D1) on its
+   analysis;
+3. compile it at every configured optimization level through the
+   shared compile pool (:mod:`repro.perf.parallel`);
+4. run every compiled variant under N adversarial schedules (seeded
+   network jitter, varied machine models, the program's processor
+   count) and cross-check **final-snapshot agreement** and **trace
+   sequential consistency** (step-limit skips counted separately);
+5. on any failure, shrink the program with delta debugging (re-running
+   the same oracle) and write a self-contained repro bundle under
+   ``fuzz-failures/``.
+
+Budgets are either a fixed iteration count or a wall-clock allowance;
+the campaign stops early after ``max_failures`` distinct failures.
+``compile_fn``/``analyze_fn`` are injectable so the test suite can
+prove a deliberately broken compiler *is* caught and minimized.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.fuzz.bundle import write_bundle
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.oracles import (
+    SC_VIOLATION,
+    OracleFailure,
+    ScTally,
+    check_delay_monotonicity,
+    check_trace_sc,
+    compare_snapshots,
+    trace_digest,
+)
+from repro.fuzz.progen import GeneratedProgram, generate_program
+
+#: The paper-facing names for the differential level set: naive
+#: blocking code, Shasha–Snir-constrained pipelining, and the full
+#: synchronization-aware optimization.
+LEVEL_NAMES: Dict[str, str] = {
+    "NAIVE": "O0",
+    "SHASHA_SNIR": "O1",
+    "SYNC": "O3",
+}
+
+DEFAULT_LEVELS: Tuple[str, ...] = tuple(LEVEL_NAMES.values())
+
+#: Adversarial jitter magnitudes (cycles of random extra wire time).
+JITTERS: Tuple[int, ...] = (0, 100, 250, 400)
+
+MACHINE_NAMES: Tuple[str, ...] = ("cm5", "t3d", "dash")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One adversarial execution schedule."""
+
+    net_seed: int
+    machine: str
+    jitter: int
+
+    def machine_config(self):
+        from repro.runtime.machine import get_machine
+
+        return get_machine(self.machine).with_jitter(self.jitter)
+
+    def as_dict(self) -> dict:
+        return {
+            "net_seed": self.net_seed,
+            "machine": self.machine,
+            "jitter": self.jitter,
+        }
+
+
+@dataclass
+class FuzzConfig:
+    """Everything a campaign needs; every knob has a CLI flag."""
+
+    seed: int = 0
+    profile: str = "mixed"
+    #: Stop after this many programs (None = wall-clock budget only).
+    iterations: Optional[int] = None
+    #: Stop after this many seconds (None = iteration budget only).
+    budget_seconds: Optional[float] = None
+    schedules_per_program: int = 3
+    levels: Tuple[str, ...] = DEFAULT_LEVELS
+    procs_choices: Tuple[int, ...] = (2, 3, 4)
+    phase_range: Tuple[int, int] = (3, 5)
+    sc_step_limit: int = 20_000
+    failures_dir: str = "fuzz-failures"
+    max_failures: int = 5
+    minimize: bool = True
+    minimize_budget: int = 48
+    #: Compile pool width (None = auto, 0/1 = in-process).
+    jobs: Optional[int] = None
+    use_cache: Optional[bool] = None
+    #: Injectable compiler: (source, level_value) -> CompiledProgram.
+    compile_fn: Optional[Callable[[str, str], object]] = None
+    #: Injectable analyzer: (source, AnalysisLevel) -> AnalysisResult.
+    analyze_fn: Optional[Callable[[str, object], object]] = None
+
+    def effective_iterations(self) -> Optional[int]:
+        if self.iterations is None and self.budget_seconds is None:
+            return 20
+        return self.iterations
+
+
+@dataclass
+class CampaignStats:
+    """Campaign accounting; ``as_dict`` is the CI-facing JSON."""
+
+    seed: int = 0
+    profile: str = "mixed"
+    levels: Tuple[str, ...] = DEFAULT_LEVELS
+    programs: int = 0
+    compiles: int = 0
+    schedules_run: int = 0
+    runs: int = 0
+    sc: ScTally = field(default_factory=ScTally)
+    monotonicity_checks: int = 0
+    failures: List[dict] = field(default_factory=list)
+    bundles: List[str] = field(default_factory=list)
+    minimizer_tests: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "profile": self.profile,
+            "levels": list(self.levels),
+            "programs": self.programs,
+            "compiles": self.compiles,
+            "schedules_run": self.schedules_run,
+            "runs": self.runs,
+            "sc_checks": self.sc.checks,
+            "sc_skips": self.sc.skips,
+            "sc_violations": self.sc.violations,
+            "monotonicity_checks": self.monotonicity_checks,
+            "failures": self.failures,
+            "bundles": self.bundles,
+            "minimizer_tests": self.minimizer_tests,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def _default_analyze(source: str, level):
+    from repro import analyze_source
+
+    return analyze_source(source, level)
+
+
+def _compile_levels(
+    source: str, levels: Sequence[str], config: FuzzConfig
+) -> List[object]:
+    """Compiles ``source`` at every level, through the pool by default."""
+    if config.compile_fn is not None:
+        return [config.compile_fn(source, level) for level in levels]
+    from repro.perf.parallel import compile_levels
+
+    return compile_levels(
+        source, levels, processes=config.jobs,
+        use_cache=config.use_cache,
+    )
+
+
+def check_program(
+    program: GeneratedProgram,
+    schedules: Sequence[Schedule],
+    config: FuzzConfig,
+    stats: Optional[CampaignStats] = None,
+) -> Optional[OracleFailure]:
+    """Runs every oracle on one program; None when all pass."""
+    source = program.source
+    tally = stats.sc if stats is not None else ScTally()
+
+    # Oracle 3: delay-set monotonicity (static, once per program).
+    analyze = config.analyze_fn or _default_analyze
+    from repro.analysis.delays import AnalysisLevel
+
+    try:
+        sas = analyze(source, AnalysisLevel.SAS)
+        sync = analyze(source, AnalysisLevel.SYNC)
+    except ReproError as exc:
+        return OracleFailure("crash", f"analysis raised: {exc}")
+    if stats is not None:
+        stats.monotonicity_checks += 1
+    detail = check_delay_monotonicity(sas, sync)
+    if detail is not None:
+        return OracleFailure("monotonicity", detail)
+
+    try:
+        compiled = _compile_levels(source, config.levels, config)
+    except ReproError as exc:
+        return OracleFailure("crash", f"compile raised: {exc}")
+    if stats is not None:
+        stats.compiles += len(config.levels)
+
+    reference = None
+    reference_at = None
+    for schedule in schedules:
+        machine = schedule.machine_config()
+        if stats is not None:
+            stats.schedules_run += 1
+        for level, variant in zip(config.levels, compiled):
+            try:
+                result = variant.run(
+                    program.procs, machine, seed=schedule.net_seed,
+                    trace=True,
+                )
+            except ReproError as exc:
+                return OracleFailure(
+                    "crash", f"simulation raised: {exc}",
+                    level=level, schedule=schedule.as_dict(),
+                )
+            if stats is not None:
+                stats.runs += 1
+
+            # Oracle 1: deterministic programs agree everywhere.
+            if program.deterministic:
+                snapshot = result.snapshot()
+                if reference is None:
+                    reference = snapshot
+                    reference_at = (level, schedule)
+                else:
+                    detail = compare_snapshots(reference, snapshot)
+                    if detail is not None:
+                        ref_level, ref_schedule = reference_at
+                        return OracleFailure(
+                            "snapshot",
+                            f"{detail} (reference from {ref_level} "
+                            f"under {ref_schedule.as_dict()})",
+                            level=level,
+                            schedule=schedule.as_dict(),
+                            trace_digest=trace_digest(result.trace),
+                        )
+
+            # Oracle 2: every checkable trace is SC.  uid-sorting only
+            # recovers source order for straight-line programs; loopy
+            # programs are checked at O0, where issue order *is*
+            # program order.
+            if program.straight_line or level == "O0":
+                outcome = check_trace_sc(
+                    result.trace, program.straight_line,
+                    config.sc_step_limit,
+                )
+                tally.record(outcome)
+                if outcome == SC_VIOLATION:
+                    return OracleFailure(
+                        "sc",
+                        "trace admits no sequentially consistent "
+                        "total order",
+                        level=level,
+                        schedule=schedule.as_dict(),
+                        trace_digest=trace_digest(result.trace),
+                    )
+    return None
+
+
+def _make_schedules(rng: random.Random, config: FuzzConfig
+                    ) -> List[Schedule]:
+    return [
+        Schedule(
+            net_seed=rng.getrandbits(16),
+            machine=rng.choice(MACHINE_NAMES),
+            jitter=rng.choice(JITTERS),
+        )
+        for _ in range(config.schedules_per_program)
+    ]
+
+
+def _handle_failure(
+    program: GeneratedProgram,
+    failure: OracleFailure,
+    schedules: Sequence[Schedule],
+    config: FuzzConfig,
+    stats: CampaignStats,
+    iteration: int,
+    log: Callable[[str], None],
+) -> None:
+    log(f"FAILURE {failure.summary()} (program seed {program.seed})")
+    minimized = program
+    if config.minimize:
+        tests = 0
+
+        def still_fails(candidate: GeneratedProgram) -> bool:
+            nonlocal tests
+            tests += 1
+            repro = check_program(candidate, schedules, config)
+            return repro is not None and repro.oracle == failure.oracle
+
+        minimized = minimize_program(
+            program, still_fails, max_tests=config.minimize_budget
+        )
+        stats.minimizer_tests += tests
+        log(
+            f"  minimized {len(program.phases)} phases/"
+            f"{program.procs} procs -> {len(minimized.phases)} phases/"
+            f"{minimized.procs} procs ({tests} oracle re-runs)"
+        )
+    bundle_dir = write_bundle(
+        config.failures_dir,
+        failure,
+        minimized,
+        program,
+        campaign_meta={
+            "campaign_seed": config.seed,
+            "profile": config.profile,
+            "levels": list(config.levels),
+            "schedules": [s.as_dict() for s in schedules],
+            "sc_step_limit": config.sc_step_limit,
+            "iteration": iteration,
+        },
+        index=stats.failure_count,
+    )
+    stats.bundles.append(bundle_dir)
+    stats.failures.append({
+        "oracle": failure.oracle,
+        "detail": failure.detail,
+        "level": failure.level,
+        "schedule": failure.schedule,
+        "trace_digest": failure.trace_digest,
+        "program_seed": program.seed,
+        "bundle": bundle_dir,
+    })
+    log(f"  bundle written to {bundle_dir}")
+
+
+def run_campaign(
+    config: FuzzConfig,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignStats:
+    """Runs one fuzzing campaign to its budget; returns the stats."""
+    log = log or (lambda message: None)
+    rng = random.Random(config.seed)
+    stats = CampaignStats(
+        seed=config.seed, profile=config.profile, levels=config.levels
+    )
+    start = time.monotonic()
+    iterations = config.effective_iterations()
+    iteration = 0
+    while True:
+        if iterations is not None and iteration >= iterations:
+            break
+        if config.budget_seconds is not None and (
+            time.monotonic() - start >= config.budget_seconds
+        ):
+            break
+        if stats.failure_count >= config.max_failures:
+            log("max failures reached; stopping early")
+            break
+        gen_seed = rng.getrandbits(32)
+        procs = rng.choice(config.procs_choices)
+        num_phases = rng.randint(*config.phase_range)
+        program = generate_program(
+            gen_seed, config.profile, procs, num_phases
+        )
+        schedules = _make_schedules(rng, config)
+        failure = check_program(program, schedules, config, stats)
+        stats.programs += 1
+        if failure is not None:
+            _handle_failure(
+                program, failure, schedules, config, stats,
+                iteration, log,
+            )
+        iteration += 1
+        if iteration % 10 == 0:
+            log(
+                f"{iteration} programs, {stats.schedules_run} schedules,"
+                f" {stats.sc.checks} SC checks ({stats.sc.skips} skips),"
+                f" {stats.failure_count} failures"
+            )
+    stats.elapsed_seconds = time.monotonic() - start
+    return stats

@@ -1,0 +1,97 @@
+"""Delta-debugging minimization of failing fuzz programs.
+
+Classic ddmin over a :class:`~repro.fuzz.progen.GeneratedProgram`'s
+phase list — try dropping chunks at increasing granularity, keeping any
+reduction under which the failure predicate still holds — followed by a
+processor-count shrink.  The predicate re-runs the *same* oracle on the
+candidate (same schedules, same injected compiler), so minimization
+never drifts onto a different bug.
+
+Any phase subset re-renders to a valid program by construction (see
+``GeneratedProgram.subset``), which is what makes statement-level
+delta debugging safe here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fuzz.progen import GeneratedProgram
+
+#: The predicate: does this candidate still exhibit the failure?
+FailurePredicate = Callable[[GeneratedProgram], bool]
+
+
+def _ddmin_phases(
+    program: GeneratedProgram,
+    still_fails: FailurePredicate,
+    max_tests: int,
+) -> tuple:
+    """Zeller-style ddmin on the phase index list.
+
+    Returns (program, tests_used).
+    """
+    indices = list(range(len(program.phases)))
+    granularity = 2
+    tests = 0
+    while len(indices) >= 2 and tests < max_tests:
+        chunk = max(1, len(indices) // granularity)
+        reduced = False
+        start = 0
+        while start < len(indices) and tests < max_tests:
+            candidate_indices = indices[:start] + indices[start + chunk:]
+            candidate = program.subset(candidate_indices)
+            tests += 1
+            if candidate.phases and still_fails(candidate):
+                indices = candidate_indices
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the sweep on the reduced list.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(indices):
+                break
+            granularity = min(len(indices), granularity * 2)
+    return program.subset(indices), tests
+
+
+def _shrink_procs(
+    program: GeneratedProgram,
+    still_fails: FailurePredicate,
+    max_tests: int,
+) -> tuple:
+    """Smallest processor count (>= phase requirements) still failing."""
+    tests = 0
+    for procs in range(program.min_procs, program.procs):
+        if tests >= max_tests:
+            break
+        candidate = program.with_procs(procs)
+        tests += 1
+        if still_fails(candidate):
+            return candidate, tests
+    return program, tests
+
+
+def minimize_program(
+    program: GeneratedProgram,
+    still_fails: FailurePredicate,
+    max_tests: int = 64,
+) -> GeneratedProgram:
+    """The smallest variant of ``program`` still failing the oracle.
+
+    ``max_tests`` bounds total oracle re-runs (each re-run compiles and
+    simulates the candidate at every level, so this is the expensive
+    knob).  The original program is returned unchanged if no reduction
+    reproduces the failure — including when the failure itself turns
+    out to be flaky (``still_fails(program)`` is re-checked first).
+    """
+    if not still_fails(program):
+        return program
+    budget = max_tests
+    reduced, used = _ddmin_phases(program, still_fails, budget)
+    budget -= used
+    if budget > 0:
+        reduced, _ = _shrink_procs(reduced, still_fails, budget)
+    return reduced

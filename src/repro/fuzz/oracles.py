@@ -1,0 +1,148 @@
+"""Differential-testing oracles.
+
+Three cross-checks, straight from the paper's contract:
+
+* **snapshot agreement** — a deterministic-by-construction program must
+  compute identical final shared memory at every optimization level,
+  under every adversarial schedule (§7: the optimized program computes
+  what the naive one does);
+* **sequential consistency** — every execution trace must admit a legal
+  total order (§3).  The exact checker is exponential, so traces the
+  step limit rejects are *skipped* and counted, never silently passed;
+* **delay-set monotonicity** — the synchronization-aware analysis may
+  only remove delays relative to Shasha–Snir, modulo its own D1 sync
+  anchors (§5: the refinement prunes the cycle search, it never needs
+  new orderings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.runtime.consistency import (
+    StepLimitExceeded,
+    is_sequentially_consistent,
+)
+from repro.runtime.trace import ExecutionTrace
+
+#: Result classes for one SC trace check.
+SC_OK = "ok"
+SC_SKIP = "skip"
+SC_VIOLATION = "violation"
+
+
+@dataclass
+class OracleFailure:
+    """One differential-testing failure, ready for bundling."""
+
+    #: "snapshot" | "sc" | "monotonicity" | "crash"
+    oracle: str
+    detail: str
+    level: Optional[str] = None
+    schedule: Optional[dict] = None
+    trace_digest: Optional[str] = None
+
+    def summary(self) -> str:
+        where = f" at {self.level}" if self.level else ""
+        return f"[{self.oracle}{where}] {self.detail}"
+
+
+def trace_digest(trace: ExecutionTrace) -> str:
+    """A stable digest of a trace's per-processor event streams."""
+    digest = hashlib.sha256()
+    for proc, events in enumerate(trace.per_proc):
+        for event in events:
+            digest.update(
+                f"P{proc}:{event.op}:{event.location}:"
+                f"{event.value};".encode()
+            )
+    return digest.hexdigest()
+
+
+def compare_snapshots(
+    reference: Dict[str, List[float]],
+    snapshot: Dict[str, List[float]],
+    tol: float = 1e-9,
+) -> Optional[str]:
+    """None when final memories agree, else a human-readable diff."""
+    if reference.keys() != snapshot.keys():
+        missing = sorted(reference.keys() ^ snapshot.keys())
+        return f"snapshot variable sets differ: {missing}"
+    for name in sorted(reference):
+        ref_values, values = reference[name], snapshot[name]
+        if len(ref_values) != len(values):
+            return (
+                f"{name}: extent {len(values)} != reference "
+                f"{len(ref_values)}"
+            )
+        for index, (expect, got) in enumerate(zip(ref_values, values)):
+            if abs(expect - got) > tol:
+                return (
+                    f"{name}[{index}] = {got!r}, reference {expect!r}"
+                )
+    return None
+
+
+def check_trace_sc(
+    trace: ExecutionTrace,
+    straight_line: bool,
+    step_limit: int,
+) -> str:
+    """SC_OK / SC_SKIP / SC_VIOLATION for one execution trace.
+
+    For straight-line programs the per-processor uid sort recovers
+    *source* program order, undoing split-phase initiation reordering —
+    that is the order the paper's SC claim is about.  For loopy
+    programs the uid sort is not meaningful, so only untransformed
+    (issue-order == program-order) traces should be passed here.
+    """
+    ordered = trace.source_ordered() if straight_line else trace
+    try:
+        consistent = is_sequentially_consistent(
+            ordered, step_limit=step_limit
+        )
+    except StepLimitExceeded:
+        return SC_SKIP
+    return SC_OK if consistent else SC_VIOLATION
+
+
+def check_delay_monotonicity(sas_result, sync_result) -> Optional[str]:
+    """None when SYNC ⊆ SAS ∪ D1 holds, else a description.
+
+    ``sas_result``/``sync_result`` are :class:`AnalysisResult`-shaped:
+    only ``delays_by_index`` (and ``d1`` on the sync side) are used.
+    """
+    allowed = sas_result.delays_by_index | sync_result.d1
+    extra = sync_result.delays_by_index - allowed
+    if not extra:
+        return None
+    sample = sorted(extra)[:5]
+    return (
+        f"sync analysis invented {len(extra)} delay(s) absent from "
+        f"Shasha-Snir ∪ D1, e.g. {sample}"
+    )
+
+
+@dataclass
+class ScTally:
+    """Counts of SC checks by outcome (skips reported separately)."""
+
+    checks: int = 0
+    skips: int = 0
+    violations: int = 0
+
+    def record(self, outcome: str) -> None:
+        self.checks += 1
+        if outcome == SC_SKIP:
+            self.skips += 1
+        elif outcome == SC_VIOLATION:
+            self.violations += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "skips": self.skips,
+            "violations": self.violations,
+        }

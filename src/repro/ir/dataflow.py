@@ -9,7 +9,7 @@ replaying the block transfer function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Generic, Iterable, TypeVar
+from typing import Dict, FrozenSet, Generic, Iterable, TypeVar
 
 from repro.ir.cfg import Function
 

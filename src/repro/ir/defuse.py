@@ -10,11 +10,11 @@ the instructions that may use it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.ir.cfg import Function
 from repro.ir.dataflow import BlockSets, ForwardDataflow
-from repro.ir.instructions import Instr, Temp
+from repro.ir.instructions import Temp
 
 #: A definition fact: (temp name, uid of the defining instruction).
 DefFact = Tuple[str, int]

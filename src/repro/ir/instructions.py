@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import SourceLocation
 from repro.lang.types import Distribution, ScalarKind

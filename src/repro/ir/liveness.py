@@ -8,7 +8,7 @@ backward-dataflow framework.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, Set
 
 from repro.ir.cfg import Function
 from repro.ir.dataflow import BackwardDataflow, BlockSets

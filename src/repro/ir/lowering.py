@@ -18,13 +18,13 @@ jobs for the parallel analyses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CodegenError
 from repro.lang import ast
 from repro.lang.checker import CheckedProgram
-from repro.lang.types import ScalarKind, Type
+from repro.lang.types import ScalarKind
 from repro.analysis.symbolic import MaybeSymExpr, OPAQUE, SymExpr
 from repro.ir.cfg import BasicBlock, Function, Module
 from repro.ir.instructions import (

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.analysis.symbolic import MYPROC_SYM, MaybeSymExpr, OPAQUE, SymExpr
+from repro.analysis.symbolic import MYPROC_SYM, OPAQUE, SymExpr
 from repro.ir.cfg import Function
 from repro.ir.instructions import (
     BinOpKind,
@@ -35,7 +35,6 @@ from repro.ir.instructions import (
     Instr,
     Opcode,
     Operand,
-    Temp,
 )
 
 

@@ -18,7 +18,7 @@ symbol information the lowering pass needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.errors import TypeError_
 from repro.lang import ast

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.lang import ast
-from repro.lang.types import Distribution, ScalarKind, Type
+from repro.lang.types import Distribution, Type
 
 #: Binary operator precedence, mirroring the parser's table.
 _PRECEDENCE = {

@@ -152,6 +152,25 @@ def _compile_job(job: Tuple[str, str, bool]):
     return compile_with_cache(source, level_value, use_cache)
 
 
+def compile_levels(
+    source: str,
+    levels: Sequence[LevelLike],
+    processes: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List["object"]:
+    """One source at several optimization levels, through the pool.
+
+    The common differential shape (``repro bench-app``, ``repro
+    fuzz``): the per-level compiles are independent, so they fan out
+    like any other batch.  Returns programs in ``levels`` order.
+    """
+    return compile_many(
+        [(source, level) for level in levels],
+        processes=processes,
+        use_cache=use_cache,
+    )
+
+
 def compile_many(
     jobs: Sequence[Tuple[str, LevelLike]],
     processes: Optional[int] = None,

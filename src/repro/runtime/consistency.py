@@ -10,14 +10,23 @@ test suite feeds it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
-from repro.runtime.trace import ExecutionTrace, Location, MemEvent
+from repro.runtime.trace import ExecutionTrace, Location
 
 Value = Union[int, float]
 
 #: Default initial contents of every location.
 _DEFAULT_INITIAL: Value = 0
+
+
+class StepLimitExceeded(RuntimeError):
+    """The exact search gave up before deciding (trace too large).
+
+    A subclass of :class:`RuntimeError` for backward compatibility;
+    callers that want to *skip* oversized traces (the fuzz campaign)
+    catch this instead of answering wrongly.
+    """
 
 
 def is_sequentially_consistent(
@@ -47,9 +56,9 @@ def is_sequentially_consistent(
         nonlocal steps
         steps += 1
         if steps > step_limit:
-            raise RuntimeError(
-                "SC check exceeded step limit; trace too large for the "
-                "exact checker"
+            raise StepLimitExceeded(
+                f"SC check exceeded step limit ({step_limit}); trace "
+                f"too large for the exact checker"
             )
         if all(pos == length for pos, length in zip(positions, lengths)):
             return True

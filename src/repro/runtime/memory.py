@@ -10,7 +10,7 @@ cost difference and the network traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
 from repro.errors import RuntimeFault

@@ -17,11 +17,9 @@ reordering.
 from __future__ import annotations
 
 import enum
-import heapq
-import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 Value = Union[int, float]
 

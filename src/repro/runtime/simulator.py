@@ -33,7 +33,7 @@ import enum
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import DeadlockError, RuntimeFault

@@ -9,8 +9,8 @@ explains the trace — the system contract of §3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 Value = Union[int, float]
 

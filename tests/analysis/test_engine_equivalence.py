@@ -26,7 +26,7 @@ from repro.analysis.cycle.spmd import BackPathEngine, _iter_bits
 from repro.analysis.delays import AnalysisLevel, analyze_function
 from repro.ir.symrefine import refine_index_metadata
 from tests.helpers import inlined
-from tests.properties.progen import generate
+from repro.fuzz.progen import generate
 
 
 # -- the seed implementation, reproduced without any caching ---------------

@@ -7,7 +7,7 @@ from repro.codegen.verify import verify_compiled
 from repro.ir.instructions import Opcode
 from repro.runtime import CM5
 from tests.helpers import snapshots_equal
-from tests.properties.progen import generate
+from repro.fuzz.progen import generate
 
 
 def counters_in(program):

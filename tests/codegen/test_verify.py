@@ -12,7 +12,7 @@ from repro.codegen.verify import (
 from repro.errors import CodegenError
 from repro.ir.instructions import Instr, Opcode
 from tests.helpers import FIGURE_1, FIGURE_5, inlined
-from tests.properties.progen import generate
+from repro.fuzz.progen import generate
 
 
 class TestWellFormedPrograms:
@@ -89,6 +89,34 @@ class TestBrokenPrograms:
         with pytest.raises(CodegenError) as exc:
             verify_counters(main)
         assert "no matching initiation" in str(exc.value)
+
+    def test_corrupted_compiled_program_rejected(self):
+        # Corrupt a fully optimized compile (not a hand-assembled IR):
+        # delete one SYNC_CTR from the O3 output and the verifier must
+        # refuse it, since some initiation can now outlive its uses.
+        program = compile_source(generate(42, procs=4, num_phases=4),
+                                 OptLevel.O3)
+        main = program.module.main
+        verify_compiled(main)  # sanity: valid before corruption
+        get_counters = {
+            instr.counter for _b, _i, instr in main.instructions()
+            if instr.op is Opcode.GET and instr.counter is not None
+        }
+        assert get_counters, "O3 output contained no gets to corrupt"
+        stripped = 0
+        for block in main.blocks:
+            kept = []
+            for instr in block.instrs:
+                if (instr.op is Opcode.SYNC_CTR
+                        and instr.counter in get_counters):
+                    stripped += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        assert stripped > 0
+        with pytest.raises(CodegenError) as exc:
+            verify_compiled(main)
+        assert "pending" in str(exc.value)
 
     def test_clobbering_write_detected(self):
         main = self._split(

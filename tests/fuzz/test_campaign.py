@@ -1,0 +1,181 @@
+"""Campaign driver tests: clean runs, injected bugs, bundles, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.analysis.delays import AnalysisLevel
+from repro.cli import main as cli_main
+from repro.fuzz import FuzzConfig, run_campaign
+from repro.fuzz.bundle import read_bundle
+
+
+def config_for(tmp_path, **overrides):
+    defaults = dict(
+        seed=0,
+        iterations=3,
+        jobs=0,
+        use_cache=False,
+        failures_dir=str(tmp_path / "fuzz-failures"),
+        schedules_per_program=2,
+        max_failures=1,
+        minimize_budget=16,
+    )
+    defaults.update(overrides)
+    return FuzzConfig(**defaults)
+
+
+class TestCleanCampaign:
+    def test_stats_shape(self, tmp_path):
+        stats = run_campaign(config_for(tmp_path, profile="racy"))
+        payload = stats.as_dict()
+        assert payload["programs"] == 3
+        assert payload["schedules_run"] == 6
+        assert payload["runs"] == 18  # 3 programs * 2 schedules * 3 lvls
+        assert payload["sc_checks"] == 18
+        assert payload["failures"] == []
+        assert payload["monotonicity_checks"] == 3
+        assert payload["elapsed_seconds"] >= 0
+
+    def test_seed_reproducibility(self, tmp_path):
+        first = run_campaign(config_for(tmp_path, profile="mixed"))
+        second = run_campaign(config_for(tmp_path, profile="mixed"))
+        first_dict, second_dict = first.as_dict(), second.as_dict()
+        first_dict.pop("elapsed_seconds")
+        second_dict.pop("elapsed_seconds")
+        assert first_dict == second_dict
+
+    def test_budget_seconds_halts(self, tmp_path):
+        stats = run_campaign(
+            config_for(tmp_path, iterations=None, budget_seconds=0.0)
+        )
+        assert stats.programs == 0
+
+
+class _SnapshotCorruptor:
+    """Wraps a compiled program; poisons one shared cell after runs."""
+
+    def __init__(self, program):
+        self._program = program
+
+    def run(self, *args, **kwargs):
+        result = self._program.run(*args, **kwargs)
+        memory = result.memory
+        name = sorted(memory.snapshot())[0]
+        var = memory.var(name)
+        indices = (0,) * len(var.dims) if var.dims else ()
+        memory.write(name, indices, 424242.0)
+        return result
+
+
+def corrupting_compile(source, level):
+    program = compile_source(source, OptLevel(level))
+    if level == "O3":
+        return _SnapshotCorruptor(program)
+    return program
+
+
+def monotonicity_breaking_analyze(source, level):
+    from repro import analyze_source
+
+    result = analyze_source(source, level)
+    if level is AnalysisLevel.SYNC:
+        result.delays_by_index = set(result.delays_by_index) | {
+            (9998, 9999)
+        }
+    return result
+
+
+class TestInjectedBugs:
+    def test_broken_compiler_caught_and_minimized(self, tmp_path):
+        stats = run_campaign(
+            config_for(tmp_path, compile_fn=corrupting_compile)
+        )
+        assert stats.failure_count == 1
+        failure = stats.failures[0]
+        assert failure["oracle"] == "snapshot"
+        assert failure["level"] == "O3"
+        assert "424242" in failure["detail"]
+        assert stats.minimizer_tests > 0
+
+        bundle_dir = stats.bundles[0]
+        assert os.path.isdir(bundle_dir)
+        manifest = read_bundle(bundle_dir)
+        assert manifest["oracle"] == "snapshot"
+        assert manifest["schema"] == 1
+        assert manifest["campaign"]["campaign_seed"] == 0
+        minimized = open(
+            os.path.join(bundle_dir, "program.ms"), encoding="utf-8"
+        ).read()
+        original = open(
+            os.path.join(bundle_dir, "original.ms"), encoding="utf-8"
+        ).read()
+        assert "void main()" in minimized
+        # The corruption fires on every run, so ddmin reaches 1 phase.
+        assert manifest["minimized"]["num_phases"] == 1
+        assert len(minimized) <= len(original)
+        assert "repro run program.ms" in manifest["repro_hint"]
+
+    def test_broken_analysis_caught(self, tmp_path):
+        stats = run_campaign(
+            config_for(
+                tmp_path, analyze_fn=monotonicity_breaking_analyze
+            )
+        )
+        assert stats.failure_count == 1
+        assert stats.failures[0]["oracle"] == "monotonicity"
+        assert "(9998, 9999)" in stats.failures[0]["detail"]
+
+    def test_max_failures_stops_early(self, tmp_path):
+        stats = run_campaign(
+            config_for(
+                tmp_path,
+                iterations=10,
+                compile_fn=corrupting_compile,
+                minimize=False,
+            )
+        )
+        assert stats.failure_count == 1
+        assert stats.programs < 10
+
+
+class TestCli:
+    def test_clean_run_exits_zero_and_prints_json(
+        self, tmp_path, capsys
+    ):
+        stats_path = tmp_path / "stats.json"
+        status = cli_main([
+            "fuzz", "--iterations", "2", "--seed", "0",
+            "--profile", "racy", "--jobs", "0", "--no-cache",
+            "--quiet", "--failures-dir",
+            str(tmp_path / "fuzz-failures"),
+            "--stats-out", str(stats_path),
+        ])
+        assert status == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["totals"]["programs"] == 2
+        assert printed["totals"]["failures"] == 0
+        assert json.loads(stats_path.read_text()) == printed
+
+    def test_all_profiles_split_budget(self, tmp_path, capsys):
+        status = cli_main([
+            "fuzz", "--iterations", "5", "--profile", "all",
+            "--jobs", "0", "--no-cache", "--quiet",
+            "--failures-dir", str(tmp_path / "fuzz-failures"),
+        ])
+        assert status == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert len(printed["profiles"]) == 5
+        assert printed["totals"]["programs"] == 5  # 1 per profile
+
+    @pytest.mark.parametrize("flag", ["--iterations", "--schedules"])
+    def test_flags_accepted(self, tmp_path, capsys, flag):
+        status = cli_main([
+            "fuzz", flag, "1", "--profile", "racy", "--jobs", "0",
+            "--no-cache", "--quiet", "--failures-dir",
+            str(tmp_path / "fuzz-failures"),
+        ])
+        assert status == 0
+        capsys.readouterr()

@@ -1,0 +1,86 @@
+"""Delta-debugging minimizer tests on synthetic failure predicates."""
+
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.progen import DeclSpec, GeneratedProgram, Phase
+
+
+def program_of(kinds, procs=4, min_procs=None):
+    phases = tuple(
+        Phase(kind, f"  /* {kind} {i} */ barrier();",
+              min_procs=(min_procs or {}).get(i, 1))
+        for i, kind in enumerate(kinds)
+    )
+    return GeneratedProgram(
+        seed=0, profile="synthetic", procs=procs,
+        decls=(DeclSpec("V0", "array"),), phases=phases,
+        header="  int i;", deterministic=True, straight_line=False,
+    )
+
+
+def fails_when(predicate):
+    """Wraps a phase-level predicate, counting oracle invocations."""
+    calls = []
+
+    def still_fails(candidate):
+        calls.append(candidate)
+        return predicate(candidate)
+
+    still_fails.calls = calls
+    return still_fails
+
+
+class TestPhaseReduction:
+    def test_single_culprit_isolated(self):
+        program = program_of(["a", "b", "bad", "c", "d", "e"])
+        oracle = fails_when(
+            lambda p: any(ph.kind == "bad" for ph in p.phases)
+        )
+        reduced = minimize_program(program, oracle)
+        assert [ph.kind for ph in reduced.phases] == ["bad"]
+
+    def test_interacting_pair_kept(self):
+        program = program_of(["x", "p", "y", "q", "z", "w"])
+        oracle = fails_when(
+            lambda p: {"p", "q"} <= {ph.kind for ph in p.phases}
+        )
+        reduced = minimize_program(program, oracle)
+        assert {ph.kind for ph in reduced.phases} == {"p", "q"}
+
+    def test_flaky_failure_returns_original(self):
+        program = program_of(["a", "b", "c"])
+        oracle = fails_when(lambda p: False)
+        assert minimize_program(program, oracle) is program
+        assert len(oracle.calls) == 1  # only the re-check
+
+    def test_budget_respected(self):
+        program = program_of(list("abcdefghij"))
+        oracle = fails_when(lambda p: len(p.phases) >= 1)
+        minimize_program(program, oracle, max_tests=7)
+        assert len(oracle.calls) <= 8  # re-check + max_tests
+
+
+class TestProcsReduction:
+    def test_procs_shrunk_to_floor(self):
+        program = program_of(["bad"], procs=4)
+        oracle = fails_when(
+            lambda p: any(ph.kind == "bad" for ph in p.phases)
+        )
+        reduced = minimize_program(program, oracle)
+        assert reduced.procs == 1
+
+    def test_procs_floor_respects_min_procs(self):
+        program = program_of(["bad"], procs=4, min_procs={0: 3})
+        oracle = fails_when(
+            lambda p: any(ph.kind == "bad" for ph in p.phases)
+        )
+        reduced = minimize_program(program, oracle)
+        assert reduced.procs == 3
+
+    def test_procs_kept_when_needed(self):
+        program = program_of(["bad"], procs=4)
+        oracle = fails_when(
+            lambda p: p.procs >= 3
+            and any(ph.kind == "bad" for ph in p.phases)
+        )
+        reduced = minimize_program(program, oracle)
+        assert reduced.procs == 3

@@ -1,0 +1,128 @@
+"""Oracle unit tests on hand-built known-bad traces and snapshots."""
+
+from types import SimpleNamespace
+
+from repro.fuzz.oracles import (
+    SC_OK,
+    SC_SKIP,
+    SC_VIOLATION,
+    ScTally,
+    check_delay_monotonicity,
+    check_trace_sc,
+    compare_snapshots,
+    trace_digest,
+)
+from repro.runtime.trace import ExecutionTrace
+
+X = ("X", 0)
+Y = ("Y", 0)
+
+
+def trace_of(*per_proc):
+    trace = ExecutionTrace(len(per_proc))
+    for proc, events in enumerate(per_proc):
+        for uid, (op, loc, value) in enumerate(events):
+            if op == "w":
+                trace.record_write(proc, loc, value, uid=uid)
+            else:
+                event = trace.record_read_issue(proc, loc, uid=uid)
+                event.value = value
+    return trace
+
+
+class TestScOracle:
+    def test_consistent_trace_ok(self):
+        trace = trace_of([("w", X, 1)], [("r", X, 1)])
+        assert check_trace_sc(trace, True, 10_000) == SC_OK
+
+    def test_dekker_violation_detected(self):
+        # Both processors read 0 after writing: classically non-SC.
+        trace = trace_of(
+            [("w", X, 1), ("r", Y, 0)],
+            [("w", Y, 1), ("r", X, 0)],
+        )
+        assert check_trace_sc(trace, True, 10_000) == SC_VIOLATION
+
+    def test_step_limit_counts_as_skip(self):
+        trace = trace_of(
+            [("w", X, i) for i in range(8)],
+            [("w", X, i + 100) for i in range(8)],
+        )
+        assert check_trace_sc(trace, True, 10) == SC_SKIP
+
+    def test_source_order_applied_for_straight_line(self):
+        # Issue order shows the violation pattern, but uid order is the
+        # benign one: write then read on P1 (uids inverted).
+        trace = ExecutionTrace(2)
+        trace.record_write(0, X, 1, uid=0)
+        read = trace.record_read_issue(1, X, uid=1)
+        read.value = 7  # reads 7 — never written
+        trace.record_write(1, X, 7, uid=0)  # ...but P1 wrote it first
+        assert check_trace_sc(trace, True, 10_000) == SC_OK
+        assert check_trace_sc(trace, False, 10_000) == SC_VIOLATION
+
+    def test_tally(self):
+        tally = ScTally()
+        for outcome in (SC_OK, SC_SKIP, SC_VIOLATION, SC_OK):
+            tally.record(outcome)
+        assert tally.as_dict() == {
+            "checks": 4, "skips": 1, "violations": 1,
+        }
+
+
+class TestSnapshotOracle:
+    def test_agreement(self):
+        a = {"V": [1.0, 2.0], "S": [3.0]}
+        assert compare_snapshots(a, {"V": [1.0, 2.0], "S": [3.0]}) is None
+
+    def test_value_mismatch_located(self):
+        detail = compare_snapshots(
+            {"V": [1.0, 2.0]}, {"V": [1.0, 9.0]}
+        )
+        assert detail is not None and "V[1]" in detail
+
+    def test_tolerance(self):
+        assert compare_snapshots(
+            {"V": [1.0]}, {"V": [1.0 + 1e-12]}
+        ) is None
+
+    def test_variable_set_mismatch(self):
+        detail = compare_snapshots({"V": [1.0]}, {"W": [1.0]})
+        assert detail is not None and "differ" in detail
+
+    def test_extent_mismatch(self):
+        detail = compare_snapshots({"V": [1.0]}, {"V": [1.0, 2.0]})
+        assert detail is not None and "extent" in detail
+
+
+class TestMonotonicityOracle:
+    @staticmethod
+    def _result(delays, d1=frozenset()):
+        return SimpleNamespace(
+            delays_by_index=set(delays), d1=set(d1)
+        )
+
+    def test_subset_passes(self):
+        sas = self._result({(0, 1), (1, 2)})
+        sync = self._result({(0, 1)}, d1={(5, 6)})
+        assert check_delay_monotonicity(sas, sync) is None
+
+    def test_d1_anchors_allowed(self):
+        sas = self._result({(0, 1)})
+        sync = self._result({(0, 1), (5, 6)}, d1={(5, 6)})
+        assert check_delay_monotonicity(sas, sync) is None
+
+    def test_invented_delay_flagged(self):
+        sas = self._result({(0, 1)})
+        sync = self._result({(0, 1), (7, 8)})
+        detail = check_delay_monotonicity(sas, sync)
+        assert detail is not None and "(7, 8)" in detail
+
+
+class TestTraceDigest:
+    def test_stable_and_discriminating(self):
+        a = trace_of([("w", X, 1)], [("r", X, 1)])
+        b = trace_of([("w", X, 1)], [("r", X, 1)])
+        c = trace_of([("w", X, 2)], [("r", X, 1)])
+        assert trace_digest(a) == trace_digest(b)
+        assert trace_digest(a) != trace_digest(c)

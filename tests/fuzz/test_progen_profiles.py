@@ -1,0 +1,127 @@
+"""Generator-profile tests: validity, determinism, re-rendering."""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.fuzz.progen import (
+    BLOCK,
+    PROFILES,
+    generate,
+    generate_program,
+    generate_racy,
+)
+from repro.runtime.machine import CM5
+from tests.helpers import snapshots_equal
+
+ADVERSARIAL = CM5.with_jitter(250)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_programs_compile_and_run(self, profile):
+        for seed in range(2):
+            program = generate_program(seed, profile, procs=3,
+                                       num_phases=3)
+            for level in (OptLevel.O0, OptLevel.O3):
+                compiled = compile_source(program.source, level)
+                compiled.run(3, ADVERSARIAL, seed=1)
+
+    @pytest.mark.parametrize(
+        "profile",
+        [name for name, p in PROFILES.items() if p.deterministic],
+    )
+    def test_deterministic_profiles_agree_across_levels(self, profile):
+        program = generate_program(7, profile, procs=3, num_phases=3)
+        reference = None
+        for level in (OptLevel.O0, OptLevel.O1, OptLevel.O3):
+            result = compile_source(program.source, level).run(
+                3, ADVERSARIAL, seed=2
+            )
+            snapshot = result.snapshot()
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshots_equal(snapshot, reference), level
+
+    def test_profile_flags(self):
+        assert PROFILES["mixed"].deterministic
+        assert not PROFILES["mixed"].straight_line
+        assert PROFILES["racy"].straight_line
+        assert not PROFILES["racy"].deterministic
+        assert PROFILES["sync_heavy"].straight_line
+
+    def test_straight_line_profiles_have_no_loops(self):
+        for name, profile in PROFILES.items():
+            if not profile.straight_line:
+                continue
+            program = generate_program(3, name, procs=3, num_phases=4)
+            assert "for (" not in program.source, name
+
+    def test_profile_mix_is_biased(self):
+        kinds = [
+            phase.kind
+            for seed in range(10)
+            for phase in generate_program(
+                seed, "lock_heavy", procs=3, num_phases=4
+            ).phases
+        ]
+        assert kinds.count("lock_accumulate") > len(kinds) // 3
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            generate_program(0, "nonsense")
+
+
+class TestCompatibilityApi:
+    def test_generate_is_seed_deterministic(self):
+        assert generate(11) == generate(11)
+        assert generate(11) != generate(12)
+
+    def test_generate_matches_mixed_profile(self):
+        assert generate(5, procs=4, num_phases=4) == generate_program(
+            5, "mixed", procs=4, num_phases=4
+        ).source
+
+    def test_generate_racy_shape(self):
+        source = generate_racy(3)
+        assert "shared int U[3];" in source
+        assert "barrier" not in source
+
+
+class TestReRendering:
+    def test_subset_is_valid_program(self):
+        program = generate_program(9, "mixed", procs=4, num_phases=5)
+        reduced = program.subset([0, 2])
+        assert len(reduced.phases) == 2
+        compiled = compile_source(reduced.source, OptLevel.O3)
+        compiled.run(4, ADVERSARIAL, seed=0)
+
+    def test_subset_keeps_declarations(self):
+        program = generate_program(9, "mixed", procs=4, num_phases=5)
+        empty_headroom = program.subset([len(program.phases) - 1])
+        assert len(empty_headroom.decls) == len(program.decls)
+
+    def test_with_procs_rerenders_extents(self):
+        program = generate_program(1, "mixed", procs=4, num_phases=3)
+        smaller = program.with_procs(2)
+        assert f"[{BLOCK * 2}]" in smaller.source
+        compile_source(smaller.source, OptLevel.O3).run(
+            2, ADVERSARIAL, seed=0
+        )
+
+    def test_with_procs_respects_phase_requirements(self):
+        program = generate_program(0, "racy", procs=4)
+        floor = program.min_procs
+        if floor > 1:
+            with pytest.raises(ValueError):
+                program.with_procs(floor - 1)
+        program.with_procs(floor)  # must not raise
+
+    def test_misaligned_writer_pins_min_procs(self):
+        for seed in range(6):
+            program = generate_program(
+                seed, "barrier_misaligned", procs=4, num_phases=3
+            )
+            for phase in program.phases:
+                if phase.kind == "misaligned_barrier":
+                    assert 1 <= phase.min_procs <= 4

@@ -5,7 +5,7 @@ import pytest
 from repro import OptLevel, compile_source
 from repro.runtime import CM5
 from tests.helpers import snapshots_equal
-from tests.properties.progen import generate
+from repro.fuzz.progen import generate
 
 
 class TestLargerPrograms:

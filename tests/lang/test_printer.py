@@ -128,7 +128,7 @@ class TestRoundtrip:
         parse_and_check(printed)
 
     def test_generated_programs_roundtrip(self):
-        from tests.properties.progen import generate
+        from repro.fuzz.progen import generate
 
         for seed in range(6):
             source = generate(seed, procs=4, num_phases=3)

@@ -14,7 +14,7 @@ from repro import analyze_source
 from repro.analysis.delays import AnalysisLevel
 from repro.runtime import CM5
 from tests.helpers import snapshots_equal
-from tests.properties.progen import generate
+from repro.fuzz.progen import generate
 
 GENERATOR_SEEDS = range(12)
 NETWORK_SEEDS = (0, 3)

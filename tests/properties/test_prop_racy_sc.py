@@ -2,54 +2,20 @@
 
 The cross-level equivalence tests use deterministic programs; here we
 generate programs with genuine races (unsynchronized conflicting
-accesses under processor guards) and check the one guarantee that must
+accesses under processor guards, via the promoted ``repro.fuzz``
+generator's ``racy`` profile) and check the one guarantee that must
 survive every optimization level: the execution trace is sequentially
 consistent.  Traces are kept tiny so the exact checker applies.
 """
 
-import random
-
 import pytest
 
 from repro import OptLevel, compile_source
+from repro.fuzz.progen import generate_racy
 from repro.runtime import CM5
 from repro.runtime.consistency import is_sequentially_consistent
 
-VARS = ("U", "V", "W")
 ADVERSARIAL = CM5.with_jitter(400)
-
-
-def generate_racy(seed: int, procs: int = 3) -> str:
-    """A small racy SPMD program: guarded straight-line access mixes.
-
-    Every processor gets a few reads/writes of shared scalars homed on
-    different processors (arrays of extent `procs`, element p on
-    processor p), with no synchronization at all — maximal race
-    exposure, bounded trace size.
-    """
-    rng = random.Random(seed)
-    decls = [f"shared int {v}[{procs}];" for v in VARS]
-    lines = []
-    for p in range(procs):
-        body = []
-        for _ in range(rng.randint(1, 3)):
-            var = rng.choice(VARS)
-            # Pick an element on some (often remote) home processor.
-            element = rng.randrange(procs)
-            if rng.random() < 0.5:
-                value = rng.randint(1, 9)
-                body.append(f"    {var}[{element}] = {value};")
-            else:
-                body.append(f"    t = {var}[{element}];")
-        lines.append(f"  if (MYPROC == {p}) {{")
-        lines.extend(body)
-        lines.append("  }")
-    return (
-        "\n".join(decls)
-        + "\nvoid main() {\n  int t;\n"
-        + "\n".join(lines)
-        + "\n}\n"
-    )
 
 
 @pytest.mark.parametrize("gen_seed", range(15))

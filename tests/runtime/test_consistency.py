@@ -3,6 +3,7 @@
 import pytest
 
 from repro.runtime.consistency import (
+    StepLimitExceeded,
     find_violation_witness,
     is_sequentially_consistent,
 )
@@ -149,10 +150,32 @@ class TestIriw:
 
 
 class TestStepLimit:
-    def test_limit_raises(self):
-        trace = trace_of(
+    def _big_trace(self):
+        return trace_of(
             [("w", X, i) for i in range(8)],
             [("w", X, i + 100) for i in range(8)],
         )
+
+    def test_limit_raises(self):
         with pytest.raises(RuntimeError):
-            is_sequentially_consistent(trace, step_limit=10)
+            is_sequentially_consistent(self._big_trace(), step_limit=10)
+
+    def test_limit_raises_dedicated_type(self):
+        # Callers distinguish "too big to decide" from a violation by
+        # catching StepLimitExceeded specifically (the fuzz SC oracle
+        # counts these as skips, never as passes).
+        with pytest.raises(StepLimitExceeded):
+            is_sequentially_consistent(self._big_trace(), step_limit=10)
+        assert issubclass(StepLimitExceeded, RuntimeError)
+
+    def test_limit_message_names_the_limit(self):
+        with pytest.raises(StepLimitExceeded) as exc:
+            is_sequentially_consistent(self._big_trace(), step_limit=10)
+        assert "10" in str(exc.value)
+
+    def test_generous_limit_still_decides(self):
+        trace = trace_of(
+            [("w", X, 1), ("r", Y, 0)],
+            [("w", Y, 1), ("r", X, 0)],
+        )
+        assert not is_sequentially_consistent(trace, step_limit=100_000)
