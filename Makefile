@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf perf-gate fuzz examples smoke all
+.PHONY: test bench perf perf-gate fuzz fuzz-faults examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -21,6 +21,11 @@ perf-gate:
 
 fuzz:
 	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile all
+
+# Lossy-network campaign only: every program replayed under seeded
+# drop/duplicate/partition schedules with the snapshot-agreement oracle.
+fuzz-faults:
+	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile faulty
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done

@@ -5,6 +5,7 @@
     repro analyze program.ms [--level sas|sync]
     repro compile program.ms [--opt O0..O4] [--emit]
     repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
+              [--faults drop=0.1,dup=0.05] [--fault-seed 0] [--verbose]
     repro bench-app ocean [--procs 8] [--machine cm5]
     repro fuzz [--iterations N | --budget-seconds S] [--seed 0]
                [--profile mixed|sync_heavy|lock_heavy|...|all]
@@ -87,16 +88,80 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runtime_error_exit(exc: BaseException, verbose: bool) -> int:
+    """One-line diagnostic (or full traceback with --verbose), exit 2."""
+    if verbose:
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+    else:
+        from repro.errors import DeadlockError
+
+        first = str(exc).splitlines()[0]
+        print(f"repro: error: {first}", file=sys.stderr)
+        if isinstance(exc, DeadlockError) and exc.report:
+            print(
+                "repro: re-run with --verbose for the full deadlock "
+                "report", file=sys.stderr,
+            )
+    return 2
+
+
+def _parse_faults(args: argparse.Namespace):
+    """The FaultPlan from --faults/--fault-seed, or None."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.runtime.network import FaultPlan
+
+    return FaultPlan.parse(args.faults, seed=args.fault_seed)
+
+
+def _print_fault_summary(result) -> None:
+    summary = result.fault_summary()
+    print(f"drops:       {summary['drops']} "
+          f"(partition: {summary['partition_drops']})")
+    print(f"retransmits: {summary['retransmits']}")
+    print(f"duplicates:  {summary['duplicates_injected']} injected, "
+          f"{summary['duplicates_suppressed']} suppressed")
+    histogram = summary["retry_histogram"]
+    if histogram:
+        shown = ", ".join(
+            f"{attempts}x:{count}"
+            for attempts, count in sorted(
+                histogram.items(), key=lambda item: int(item[0])
+            )
+        )
+        print(f"retries:     {shown}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        plan = _parse_faults(args)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     program = compile_source(
         _read_source(args.source), OptLevel(args.opt), filename=args.source
     )
     machine = get_machine(args.machine)
-    result = program.run(args.procs, machine, seed=args.seed)
+    from repro.errors import DeadlockError, RuntimeFault
+
+    run_kwargs = {}
+    if plan is not None:
+        run_kwargs["fault_plan"] = plan
+    try:
+        result = program.run(
+            args.procs, machine, seed=args.seed, **run_kwargs
+        )
+    except (DeadlockError, RuntimeFault) as exc:
+        return _runtime_error_exit(exc, args.verbose)
     print(f"machine:     {machine.name} ({args.procs} processors)")
     print(f"cycles:      {result.cycles}")
     print(f"instructions:{result.instructions}")
     print(f"messages:    {result.total_messages}")
+    if plan is not None:
+        print(f"fault plan:  {plan.describe()}")
+        _print_fault_summary(result)
     if args.dump:
         for name, values in sorted(result.snapshot().items()):
             shown = ", ".join(f"{v:g}" for v in values[: args.dump])
@@ -119,8 +184,13 @@ def _cmd_bench_app(args: argparse.Namespace) -> int:
         processes=args.jobs,
         use_cache=False if args.no_cache else None,
     )
+    from repro.errors import DeadlockError, RuntimeFault
+
     for level, program in zip(levels, programs):
-        result = program.run(args.procs, machine, seed=args.seed)
+        try:
+            result = program.run(args.procs, machine, seed=args.seed)
+        except (DeadlockError, RuntimeFault) as exc:
+            return _runtime_error_exit(exc, args.verbose)
         print(
             f"  {level.value}: {result.cycles} cycles, "
             f"{result.total_messages} messages"
@@ -150,6 +220,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     per_profile = {}
     totals = {
         "programs": 0, "schedules_run": 0, "runs": 0,
+        "fault_runs": 0, "retransmits": 0,
         "sc_checks": 0, "sc_skips": 0, "sc_violations": 0,
         "failures": 0,
     }
@@ -260,6 +331,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject network faults, e.g. "
+             "'drop=0.1,dup=0.05,partition=0-1@5000+20000' "
+             "(see repro.runtime.network for the full grammar)",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault-decision RNG (deterministic replay)",
+    )
+    run.add_argument(
+        "--verbose", action="store_true",
+        help="print full tracebacks and deadlock reports on failure",
+    )
+    run.add_argument(
         "--dump", type=int, default=0, metavar="N",
         help="print the first N elements of each shared variable",
     )
@@ -283,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk compile cache for this run",
+    )
+    bench.add_argument(
+        "--verbose", action="store_true",
+        help="print full tracebacks and deadlock reports on failure",
     )
     _add_profile(bench)
     bench.set_defaults(func=_cmd_bench_app)

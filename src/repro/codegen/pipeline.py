@@ -92,8 +92,15 @@ class CompiledProgram:
     report: CodegenReport = field(default_factory=CodegenReport)
 
     def run(self, num_procs: int, machine=None, seed: int = 0,
-            trace: bool = False, max_cycles: int = 500_000_000):
-        """Simulates the compiled program (defaults to the CM-5 model)."""
+            trace: bool = False, max_cycles: int = 500_000_000,
+            fault_plan=None):
+        """Simulates the compiled program (defaults to the CM-5 model).
+
+        ``fault_plan`` (a :class:`repro.runtime.network.FaultPlan`)
+        runs the program over a lossy network behind the ack/retransmit
+        protocol; deterministic programs produce the same snapshot
+        either way.
+        """
         from repro.runtime.machine import CM5
         from repro.runtime.simulator import run_module
 
@@ -104,6 +111,7 @@ class CompiledProgram:
             seed=seed,
             trace=trace,
             max_cycles=max_cycles,
+            fault_plan=fault_plan,
         )
 
     def pretty(self) -> str:

@@ -65,8 +65,44 @@ class RuntimeFault(ReproError):
     """A fault raised by the machine simulator while executing a program."""
 
 
+class NetworkFault(RuntimeFault):
+    """A message exhausted its retransmission budget and is undeliverable.
+
+    Raised by the simulator's reliability protocol when the retry cap is
+    reached — a permanently partitioned link, or a fault plan so lossy
+    the exponential backoff budget runs out.  Carries the undeliverable
+    message and the sending link's fault statistics so callers (and the
+    CLI) can render a precise diagnostic instead of hanging.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        undeliverable=None,
+        link=None,
+        attempts: Optional[int] = None,
+        link_stats=None,
+    ):
+        self.undeliverable = undeliverable
+        self.link = link
+        self.attempts = attempts
+        self.link_stats = link_stats
+        super().__init__(message)
+
+
 class DeadlockError(RuntimeFault):
-    """All simulated processors are blocked and no message is in flight."""
+    """All simulated processors are blocked and no message is in flight.
+
+    ``report`` holds the multi-line forensics dump (per-processor
+    blocked reason and program counter, pending sync-object state,
+    in-flight message counts); the exception string leads with a
+    one-line summary so log greps stay readable.
+    """
+
+    def __init__(self, message: str, report: Optional[str] = None):
+        self.report = report
+        super().__init__(message if report is None
+                         else f"{message}\n{report}")
 
 
 class ConsistencyViolation(ReproError):

@@ -89,9 +89,15 @@ def _repro_hint(program: GeneratedProgram,
     level = failure.level or "O3"
     if level not in ("O0", "O1", "O2", "O3", "O4"):
         level = "O3"
+    faults = ""
+    if schedule.get("faults"):
+        faults = (
+            f" --faults '{schedule['faults']}'"
+            f" --fault-seed {schedule.get('fault_seed', 0)}"
+        )
     return (
         f"repro run program.ms --opt {level} --procs {program.procs} "
-        f"--machine {machine} --seed {seed} --dump 8   "
+        f"--machine {machine} --seed {seed}{faults} --dump 8   "
         f"# compare against --opt O0"
     )
 

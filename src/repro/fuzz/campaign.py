@@ -59,6 +59,13 @@ JITTERS: Tuple[int, ...] = (0, 100, 250, 400)
 MACHINE_NAMES: Tuple[str, ...] = ("cm5", "t3d", "dash")
 
 
+#: Fault severities the ``faulty`` profile samples from: (drop, dup)
+#: probabilities applied to every message kind, transport acks included.
+FAULT_RATES: Tuple[Tuple[float, float], ...] = (
+    (0.05, 0.0), (0.1, 0.05), (0.2, 0.1),
+)
+
+
 @dataclass(frozen=True)
 class Schedule:
     """One adversarial execution schedule."""
@@ -66,18 +73,33 @@ class Schedule:
     net_seed: int
     machine: str
     jitter: int
+    #: fault-plan spec string (None = perfect network)
+    faults: Optional[str] = None
+    fault_seed: int = 0
 
     def machine_config(self):
         from repro.runtime.machine import get_machine
 
         return get_machine(self.machine).with_jitter(self.jitter)
 
+    def fault_plan(self):
+        """The parsed FaultPlan, or None on a perfect network."""
+        if self.faults is None:
+            return None
+        from repro.runtime.network import FaultPlan
+
+        return FaultPlan.parse(self.faults, seed=self.fault_seed)
+
     def as_dict(self) -> dict:
-        return {
+        data = {
             "net_seed": self.net_seed,
             "machine": self.machine,
             "jitter": self.jitter,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults
+            data["fault_seed"] = self.fault_seed
+        return data
 
 
 @dataclass
@@ -124,6 +146,10 @@ class CampaignStats:
     compiles: int = 0
     schedules_run: int = 0
     runs: int = 0
+    #: runs executed over a lossy network (subset of ``runs``)
+    fault_runs: int = 0
+    #: retransmissions observed across all lossy runs
+    retransmits: int = 0
     sc: ScTally = field(default_factory=ScTally)
     monotonicity_checks: int = 0
     failures: List[dict] = field(default_factory=list)
@@ -145,6 +171,8 @@ class CampaignStats:
             "compiles": self.compiles,
             "schedules_run": self.schedules_run,
             "runs": self.runs,
+            "fault_runs": self.fault_runs,
+            "retransmits": self.retransmits,
             "sc_checks": self.sc.checks,
             "sc_skips": self.sc.skips,
             "sc_violations": self.sc.violations,
@@ -212,13 +240,21 @@ def check_program(
     reference_at = None
     for schedule in schedules:
         machine = schedule.machine_config()
+        plan = schedule.fault_plan()
         if stats is not None:
             stats.schedules_run += 1
         for level, variant in zip(config.levels, compiled):
+            # Lossy runs skip tracing/SC (the snapshot-agreement oracle
+            # against the fault-free reference is their contract); the
+            # kwarg stays conditional so injected fake compilers keep
+            # their simple run() signatures.
+            run_kwargs = {"trace": True}
+            if plan is not None:
+                run_kwargs = {"trace": False, "fault_plan": plan}
             try:
                 result = variant.run(
                     program.procs, machine, seed=schedule.net_seed,
-                    trace=True,
+                    **run_kwargs,
                 )
             except ReproError as exc:
                 return OracleFailure(
@@ -227,6 +263,9 @@ def check_program(
                 )
             if stats is not None:
                 stats.runs += 1
+                if plan is not None:
+                    stats.fault_runs += 1
+                    stats.retransmits += result.network.stats.retransmits
 
             # Oracle 1: deterministic programs agree everywhere.
             if program.deterministic:
@@ -244,14 +283,17 @@ def check_program(
                             f"under {ref_schedule.as_dict()})",
                             level=level,
                             schedule=schedule.as_dict(),
-                            trace_digest=trace_digest(result.trace),
+                            trace_digest=(
+                                trace_digest(result.trace)
+                                if result.trace is not None else None
+                            ),
                         )
 
             # Oracle 2: every checkable trace is SC.  uid-sorting only
             # recovers source order for straight-line programs; loopy
             # programs are checked at O0, where issue order *is*
-            # program order.
-            if program.straight_line or level == "O0":
+            # program order.  Lossy runs carry no trace (see above).
+            if plan is None and (program.straight_line or level == "O0"):
                 outcome = check_trace_sc(
                     result.trace, program.straight_line,
                     config.sc_step_limit,
@@ -269,9 +311,16 @@ def check_program(
     return None
 
 
+def _profile_is_faulty(name: str) -> bool:
+    from repro.fuzz.progen import PROFILES
+
+    profile = PROFILES.get(name)
+    return profile is not None and profile.faulty
+
+
 def _make_schedules(rng: random.Random, config: FuzzConfig
                     ) -> List[Schedule]:
-    return [
+    schedules = [
         Schedule(
             net_seed=rng.getrandbits(16),
             machine=rng.choice(MACHINE_NAMES),
@@ -279,6 +328,36 @@ def _make_schedules(rng: random.Random, config: FuzzConfig
         )
         for _ in range(config.schedules_per_program)
     ]
+    if _profile_is_faulty(config.profile):
+        # Mirror each fault-free schedule with a lossy twin; the
+        # snapshot oracle then asserts perfect-network and lossy runs
+        # of the same program agree (and the fault-free schedules above
+        # keep providing the reference snapshot and SC coverage).
+        for base in list(schedules):
+            drop, dup = rng.choice(FAULT_RATES)
+            spec = f"drop={drop},dup={dup}"
+            if rng.random() < 0.25:
+                spec += ",spike=0.05:2000"
+            if rng.random() < 0.25:
+                # Delivery is only guaranteed for partitions that heal
+                # within the retransmission window, so stay inside the
+                # protocol's envelope: bound the outage and widen the
+                # retry budget (on the lowest-RTO machine, t3d, cap 16
+                # leaves ~10 post-heal attempts for the worst outage
+                # generated here — a legitimate NetworkFault would
+                # otherwise surface as a false campaign failure).
+                a, b = rng.sample(range(4), 2)
+                start = rng.randrange(0, 5000)
+                duration = rng.randrange(2000, 12000)
+                spec += f",partition={a}-{b}@{start}+{duration},retry_cap=16"
+            schedules.append(Schedule(
+                net_seed=base.net_seed,
+                machine=base.machine,
+                jitter=base.jitter,
+                faults=spec,
+                fault_seed=rng.getrandbits(16),
+            ))
+    return schedules
 
 
 def _handle_failure(

@@ -381,6 +381,10 @@ class Profile:
     straight_line: bool
     #: Builder phase mix (duplicates weight the choice); None = racy.
     mix: Tuple[Callable, ...] = ()
+    #: Run the program under lossy-network schedules too: the campaign
+    #: adds fault-plan schedules and the snapshot oracle then asserts
+    #: fault-free and lossy runs agree (reliability-protocol fuzzing).
+    faulty: bool = False
 
     def generate(self, seed: int, procs: int,
                  num_phases: int) -> GeneratedProgram:
@@ -446,6 +450,14 @@ PROFILES: Dict[str, Profile] = {
         "racy",
         "unsynchronized conflicting accesses, tiny SC-checkable traces",
         deterministic=False, straight_line=True,
+    ),
+    "faulty": Profile(
+        "faulty",
+        "the mixed phase set replayed over a lossy network: dropped/"
+        "duplicated/delayed messages behind the retransmission protocol",
+        deterministic=True, straight_line=False,
+        mix=_B.PHASES,
+        faulty=True,
     ),
 }
 

@@ -6,7 +6,14 @@
   on-disk compile cache that lets repeated bench/CLI runs skip analysis.
 """
 
-from repro.perf.profiler import Profiler, count, current, pass_timer, profiled
+from repro.perf.profiler import (
+    Profiler,
+    count,
+    current,
+    pass_timer,
+    profiled,
+    record_event,
+)
 
 __all__ = [
     "Profiler",
@@ -14,4 +21,5 @@ __all__ = [
     "current",
     "pass_timer",
     "profiled",
+    "record_event",
 ]

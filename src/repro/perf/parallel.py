@@ -16,6 +16,17 @@ Two independent pieces, composable:
   the compiler invalidates stale entries automatically.  Delete the
   cache directory to force a cold run; set ``REPRO_COMPILE_CACHE=0``
   to disable the cache entirely.
+
+Crash tolerance: the pool treats workers as expendable.  A worker that
+dies (OOM kill, segfaulting interpreter, ``os._exit``) surfaces as
+``BrokenProcessPool``; a worker that wedges trips the per-job timeout
+(``$REPRO_COMPILE_TIMEOUT`` seconds, default 300).  Either way the
+remaining workers are terminated and every unfinished job is compiled
+serially in-process — correctness never depends on the pool — and the
+degradation is recorded on the active profiler (counters
+``compile.pool.worker_deaths`` / ``compile.pool.timeouts`` /
+``compile.pool.serial_fallbacks`` plus an ``events`` entry), so
+``--profile`` output shows exactly when and why the fan-out degraded.
 """
 
 from __future__ import annotations
@@ -152,6 +163,83 @@ def _compile_job(job: Tuple[str, str, bool]):
     return compile_with_cache(source, level_value, use_cache)
 
 
+def job_timeout() -> float:
+    """Per-job wall-clock budget before a worker counts as wedged."""
+    try:
+        return float(os.environ.get("REPRO_COMPILE_TIMEOUT", "300"))
+    except ValueError:
+        return 300.0
+
+
+def _record_degradation(kind: str, detail: str) -> None:
+    from repro.perf import profiler
+
+    profiler.count(f"compile.pool.{kind}")
+    profiler.record_event(f"compile.pool.{kind}", detail)
+
+
+def _run_pool(pending: Sequence[Tuple[str, str, bool]],
+              processes: int, job_fn) -> dict:
+    """Fan ``pending`` out to worker processes, surviving worker death.
+
+    Returns a job -> result dict covering *every* pending job: whatever
+    the pool fails to produce (crashed worker, wedged worker, pool
+    creation refused by the sandbox) is compiled serially in-process,
+    with the degradation recorded on the active profiler.
+    """
+    results: dict = {}
+    pool = None
+    failure: Optional[str] = None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = ProcessPoolExecutor(
+            max_workers=min(processes, len(pending))
+        )
+        futures = [(job, pool.submit(job_fn, job)) for job in pending]
+        timeout = job_timeout()
+        try:
+            for job, future in futures:
+                results[job] = future.result(timeout=timeout)
+        except BrokenProcessPool as exc:
+            failure = f"worker died: {exc}"
+            _record_degradation("worker_deaths", failure)
+        except FutureTimeout:
+            failure = f"worker exceeded {timeout:g}s job timeout"
+            _record_degradation("timeouts", failure)
+    except (OSError, ImportError, PermissionError) as exc:
+        # Restricted sandboxes: no subprocesses at all.
+        failure = f"pool unavailable: {exc}"
+        _record_degradation("unavailable", failure)
+    finally:
+        if pool is not None:
+            if failure is not None:
+                # Dead or wedged workers would make a graceful shutdown
+                # hang; terminate whatever is left before falling back.
+                workers = getattr(pool, "_processes", None) or {}
+                for proc in list(workers.values()):
+                    try:
+                        proc.terminate()
+                    except (OSError, AttributeError):
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown()
+
+    missing = [job for job in pending if job not in results]
+    if missing:
+        _record_degradation(
+            "serial_fallbacks",
+            f"{len(missing)} job(s) recompiled in-process "
+            f"({failure or 'pool produced no result'})",
+        )
+        for job in missing:
+            results[job] = job_fn(job)
+    return results
+
+
 def compile_levels(
     source: str,
     levels: Sequence[LevelLike],
@@ -175,13 +263,18 @@ def compile_many(
     jobs: Sequence[Tuple[str, LevelLike]],
     processes: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    _job_fn=None,
 ) -> List["object"]:
     """Compiles independent (source, level) jobs, fanning out to a pool.
 
     Returns CompiledPrograms in job order.  ``processes=None`` sizes the
     pool to ``min(len(jobs), cpu_count)``; 0/1 compiles in-process.
-    Duplicate jobs are compiled once.
+    Duplicate jobs are compiled once.  A crashed or wedged worker never
+    loses work: the survivors are terminated and unfinished jobs compile
+    serially in-process (see :func:`_run_pool`).  ``_job_fn`` is a test
+    hook substituting the per-job worker function.
     """
+    job_fn = _job_fn or _compile_job
     if use_cache is None:
         use_cache = cache_enabled()
     normalized = [
@@ -207,17 +300,10 @@ def compile_many(
 
     if pending:
         if processes > 1 and len(pending) > 1:
-            try:
-                import multiprocessing
-
-                with multiprocessing.Pool(
-                    min(processes, len(pending))
-                ) as pool:
-                    compiled = pool.map(_compile_job, pending)
-            except (OSError, ImportError, PermissionError):
-                compiled = [_compile_job(job) for job in pending]
+            results.update(_run_pool(pending, processes, job_fn))
         else:
-            compiled = [_compile_job(job) for job in pending]
-        results.update(zip(pending, compiled))
+            results.update(
+                (job, job_fn(job)) for job in pending
+            )
 
     return [results[job] for job in normalized]

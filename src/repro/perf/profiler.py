@@ -24,11 +24,14 @@ JSON schema (``Profiler.to_dict``)::
       "version": 1,
       "total_seconds": 0.123,
       "passes":   {"analysis.conflict-set": {"seconds": 0.05, "calls": 1}},
-      "counters": {"engine.closures": 42, "engine.closure_cache_hits": 17}
+      "counters": {"engine.closures": 42, "engine.closure_cache_hits": 17},
+      "events":   [{"name": "compile.pool.fallback", "detail": "..."}]
     }
 
 Counters are cumulative over the profiler's lifetime; nested or repeated
-passes accumulate into one entry per name.
+passes accumulate into one entry per name.  ``events`` records discrete
+degradation incidents — compile-pool worker deaths, timeouts, serial
+fallbacks — that a counter alone would flatten into noise.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 
 @dataclass
@@ -53,6 +56,7 @@ class Profiler:
     def __init__(self) -> None:
         self.passes: Dict[str, PassRecord] = {}
         self.counters: Dict[str, int] = {}
+        self.events: List[Dict[str, str]] = []
         self._started = time.perf_counter()
 
     # -- recording ---------------------------------------------------------
@@ -74,6 +78,10 @@ class Profiler:
         for name, amount in counters.items():
             self.count(name, amount)
 
+    def record_event(self, name: str, detail: str = "") -> None:
+        """Logs a discrete incident (worker crash, fallback, ...)."""
+        self.events.append({"name": name, "detail": detail})
+
     # -- reporting ---------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -85,6 +93,7 @@ class Profiler:
                 for name, record in sorted(self.passes.items())
             },
             "counters": dict(sorted(self.counters.items())),
+            "events": list(self.events),
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -132,3 +141,10 @@ def count(name: str, amount: int = 1) -> None:
     profiler = current()
     if profiler is not None:
         profiler.count(name, amount)
+
+
+def record_event(name: str, detail: str = "") -> None:
+    """Logs an incident on the active profiler (no-op without one)."""
+    profiler = current()
+    if profiler is not None:
+        profiler.record_event(name, detail)

@@ -12,7 +12,16 @@ from repro.runtime.consistency import (
 )
 from repro.runtime.machine import CM5, DASH, MACHINES, T3D, MachineConfig, get_machine
 from repro.runtime.memory import GlobalMemory
-from repro.runtime.network import Message, MsgKind, Network, NetworkStats
+from repro.runtime.network import (
+    FaultPlan,
+    LinkPartition,
+    LinkStats,
+    Message,
+    MsgKind,
+    Network,
+    NetworkStats,
+    StallWindow,
+)
 from repro.runtime.simulator import (
     ProcState,
     Processor,
@@ -32,6 +41,10 @@ __all__ = [
     "GlobalMemory",
     "Network",
     "NetworkStats",
+    "FaultPlan",
+    "LinkPartition",
+    "LinkStats",
+    "StallWindow",
     "Message",
     "MsgKind",
     "Simulator",

@@ -25,6 +25,38 @@ Timing model (see :mod:`repro.runtime.machine` for the constants):
 The simulator is deterministic for a given seed.  A non-zero machine
 ``jitter`` randomizes per-message wire time (point-to-point FIFO is
 preserved), which the SC litmus tests use as an adversarial network.
+
+Reliability protocol (fault injection)
+--------------------------------------
+
+With a :class:`~repro.runtime.network.FaultPlan` installed the wire may
+drop, duplicate, spike or partition traffic, so every logical message
+travels inside a sequence-numbered envelope:
+
+* the **sender** keeps an unacked-envelope table per (src, dst) link
+  and a retransmission timer per envelope — exponential backoff from
+  :meth:`MachineConfig.retransmit_timeout`, capped at the plan's
+  ``retry_cap``, after which :class:`NetworkFault` is raised (the
+  protocol turns silent loss into a diagnosis, never a hang);
+* the **receiver** acknowledges every arriving envelope with a
+  transport-level ``NET_ACK`` (acks are themselves faultable — a lost
+  ack just causes one more retransmission), suppresses duplicates, and
+  releases envelopes to the message handlers strictly in sequence
+  order — re-establishing the point-to-point FIFO guarantee that
+  one-way ``store`` correctness rests on.  Acks are **cumulative**:
+  besides echoing the received seq they carry the link's in-order
+  delivery floor, so an envelope whose own acks were all lost is still
+  cleared by any later ack on the link — exhausting ``retry_cap``
+  then requires sustained link death, not an unlucky streak;
+* handlers therefore observe each logical message **exactly once and
+  in order**, so ``PUT_REQ``/``STORE_REQ``/sync traffic stays
+  idempotent under retransmission and ``outstanding_stores`` drains
+  exactly as on a perfect network.
+
+Transport acks are pure network bookkeeping: they steal no handler
+cycles from either CPU.  Timing under faults differs from the perfect
+network (that is the point), but final memory for deterministic
+programs does not.
 """
 
 from __future__ import annotations
@@ -36,7 +68,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import DeadlockError, RuntimeFault
+from repro.errors import DeadlockError, NetworkFault, RuntimeFault
 from repro.ir.cfg import Function, Module
 from repro.ir.instructions import (
     BinOpKind,
@@ -49,7 +81,7 @@ from repro.ir.instructions import (
 )
 from repro.runtime.machine import MachineConfig
 from repro.runtime.memory import GlobalMemory, flat_index
-from repro.runtime.network import Message, MsgKind, Network
+from repro.runtime.network import FaultPlan, Message, MsgKind, Network
 from repro.runtime.sync_objects import BarrierState, FlagTable, LockTable
 from repro.runtime.trace import ExecutionTrace, MemEvent
 
@@ -84,6 +116,14 @@ class _Frame:
 
 
 @dataclass
+class _Retransmit:
+    """Sender-side state for one unacked envelope."""
+
+    msg: Message
+    attempts: int = 0
+
+
+@dataclass
 class SimulationResult:
     """Everything a benchmark or test wants from one run."""
 
@@ -98,6 +138,24 @@ class SimulationResult:
 
     def snapshot(self) -> Dict[str, List[Value]]:
         return self.memory.snapshot()
+
+    # -- reliability-protocol observability --------------------------------
+
+    @property
+    def retransmits(self) -> int:
+        return self.network.stats.retransmits
+
+    @property
+    def drops(self) -> int:
+        return self.network.stats.total_drops
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return self.network.stats.duplicates_suppressed
+
+    def fault_summary(self) -> Dict[str, object]:
+        """Drop/duplicate/retransmit counters and the retry histogram."""
+        return self.network.stats.fault_summary()
 
     @property
     def total_messages(self) -> int:
@@ -726,6 +784,7 @@ class Simulator:
         trace: bool = False,
         entry: str = "main",
         max_cycles: int = 500_000_000,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.module = module
         self.num_procs = num_procs
@@ -733,8 +792,10 @@ class Simulator:
         self.entry = entry
         self.max_cycles = max_cycles
         self.memory = GlobalMemory(module, num_procs)
+        self.fault_plan = fault_plan
         self.network = Network(
-            machine.wire_latency, machine.jitter, seed=seed
+            machine.wire_latency, machine.jitter, seed=seed,
+            plan=fault_plan,
         )
         self.flags = FlagTable()
         self.locks = LockTable()
@@ -750,6 +811,11 @@ class Simulator:
         self._tags = itertools.count(1)
         self._done_count = 0
         self._trace_events: Dict[int, MemEvent] = {}
+        #: reliability-protocol state (only populated under a fault plan)
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+        self._unacked: Dict[Tuple[int, int], Dict[int, _Retransmit]] = {}
+        self._recv_expected: Dict[Tuple[int, int], int] = {}
+        self._recv_buffer: Dict[Tuple[int, int], Dict[int, Message]] = {}
 
     # -- infrastructure used by processors -----------------------------------
 
@@ -763,12 +829,108 @@ class Simulator:
 
     def send(self, msg: Message, now: int,
              trace_event: Optional[MemEvent] = None) -> None:
-        arrival = self.network.send(msg, now)
         if trace_event is not None:
             self._trace_events[id(msg)] = trace_event
-        self._push(arrival, ("deliver", msg))
+        if self.fault_plan is None:
+            arrival = self.network.send(msg, now)
+            self._push(arrival, ("deliver", msg))
+            return
+        # Reliable path: wrap in a sequence-numbered envelope; the
+        # receiver delivers per-link traffic in seq order, restoring
+        # point-to-point FIFO above the lossy wire.
+        link = (msg.src, msg.dst)
+        seq = self._send_seq.get(link, 0)
+        self._send_seq[link] = seq + 1
+        msg.seq = seq
+        record = _Retransmit(msg=msg)
+        self._unacked.setdefault(link, {})[seq] = record
+        self._transmit(record, now)
+
+    # -- reliability protocol (fault plans only) ---------------------------
+
+    def _transmit(self, record: _Retransmit, now: int) -> None:
+        """One physical transmission attempt plus its timeout timer."""
+        record.attempts += 1
+        msg = record.msg
+        arrivals = self.network.transmit(
+            msg, now, retransmission=record.attempts > 1
+        )
+        for arrival in arrivals:
+            self._push(arrival, ("xport", msg))
+        timeout = self.machine.retransmit_timeout(
+            record.attempts, self.fault_plan.spike_cycles
+        )
+        self._push(now + timeout, ("retx", ((msg.src, msg.dst), msg.seq)))
+
+    def _handle_retx(self, now: int, link: Tuple[int, int],
+                     seq: int) -> None:
+        record = self._unacked.get(link, {}).get(seq)
+        if record is None:
+            return  # acked in the meantime; stale timer
+        plan = self.fault_plan
+        if record.attempts > plan.retry_cap:
+            msg = record.msg
+            raise NetworkFault(
+                f"P{msg.src}: {msg.kind.value} to P{msg.dst} "
+                f"undeliverable after {record.attempts} transmissions "
+                f"(seq {seq}, retry cap {plan.retry_cap}); "
+                + self.network.describe_link(link)
+                + (
+                    "; link currently partitioned"
+                    if plan.partitioned(link[0], link[1], now) else ""
+                ),
+                undeliverable=msg,
+                link=link,
+                attempts=record.attempts,
+                link_stats=self.network.link_stats.get(link),
+            )
+        self._transmit(record, now)
+
+    def _handle_xport(self, now: int, msg: Message) -> None:
+        """Transport arrival: deduplicate, deliver in seq order, ack."""
+        link = (msg.src, msg.dst)
+        expected = self._recv_expected.get(link, 0)
+        buffer = self._recv_buffer.setdefault(link, {})
+        if msg.seq < expected or msg.seq in buffer:
+            self.network.stats.duplicates_suppressed += 1
+        else:
+            buffer[msg.seq] = msg
+            while expected in buffer:
+                ready = buffer.pop(expected)
+                expected += 1
+                self._recv_expected[link] = expected
+                self._handle_message(now, ready)
+        # Always ack — the sender may be retransmitting because our
+        # previous ack was lost.  ``tag`` echoes the received seq;
+        # ``counter`` carries the cumulative in-order floor, so any
+        # later ack on the link also clears an envelope whose own acks
+        # all died (without it, one envelope fails once ~11 independent
+        # coin flips go wrong — far too often across a whole campaign).
+        ack = Message(MsgKind.NET_ACK, src=msg.dst, dst=msg.src,
+                      tag=msg.seq,
+                      counter=self._recv_expected.get(link, 0) - 1)
+        for arrival in self.network.transmit(ack, now):
+            self._push(arrival, ("xack", ack))
+
+    def _handle_xack(self, msg: Message) -> None:
+        link = (msg.dst, msg.src)  # ack flows opposite the data
+        records = self._unacked.get(link, {})
+        record = records.pop(msg.tag, None)
+        if record is not None:
+            self.network.stats.record_retries(record.attempts)
+        # Cumulative part: everything at or below the receiver's
+        # in-order floor has been delivered, whether or not its own
+        # ack survived.
+        floor = msg.counter
+        if floor is not None:
+            for seq in [s for s in records if s <= floor]:
+                self.network.stats.record_retries(
+                    records.pop(seq).attempts
+                )
 
     def schedule_resume(self, pid: int, time: int) -> None:
+        if self.fault_plan is not None:
+            time = self.fault_plan.stalled_until(pid, time)
         self._push(time, ("resume", pid))
 
     def _push(self, time: int, payload: Tuple) -> None:
@@ -990,6 +1152,109 @@ class Simulator:
             for pid in waiters:
                 self.procs[pid].wake(now)
 
+    # -- deadlock forensics ---------------------------------------------------------
+
+    def _describe_block_reason(self, proc: Processor) -> str:
+        """A human-readable account of why ``proc`` is parked."""
+        reason = proc.block_reason
+        if reason is None:
+            return "nothing (ready)"
+        kind = reason[0]
+        if kind == "counter":
+            outstanding = proc.counters.get(reason[1], 0)
+            return (
+                f"sync_ctr #{reason[1]} "
+                f"({outstanding} completion(s) outstanding)"
+            )
+        if kind == "store_sync":
+            return (
+                f"all_store_sync ({self.outstanding_stores} one-way "
+                "store(s) undrained)"
+            )
+        if kind == "reply":
+            return f"a reply with tag {reason[1]}"
+        if kind == "wait":
+            var, flat = reason[1]
+            return f"wait {var}[{flat}]"
+        if kind == "lock":
+            var, flat = reason[1]
+            holder = self.locks.holder(reason[1])
+            held = f" held by P{holder}" if holder is not None else ""
+            return f"lock {var}[{flat}]{held}"
+        if kind == "barrier":
+            return (
+                f"barrier generation {self.barrier.generation} "
+                f"({len(self.barrier.arrived)}/{self.num_procs} arrived)"
+            )
+        return repr(reason)
+
+    def deadlock_report(self) -> str:
+        """Multi-line forensics: processors, sync objects, network."""
+        lines = ["processors:"]
+        for proc in self.procs:
+            if proc.state is ProcState.DONE:
+                lines.append(
+                    f"  P{proc.pid}: done "
+                    f"(clock {proc.clock}, {proc.instructions} instrs)"
+                )
+                continue
+            if proc.frames:
+                frame = proc.frames[-1]
+                pc = f"{frame.function.name}:{frame.block}+{frame.index}"
+            else:
+                pc = "<no frame>"
+            lines.append(
+                f"  P{proc.pid}: {proc.state.value} at {pc} on "
+                f"{self._describe_block_reason(proc)} "
+                f"(clock {proc.clock}, {proc.instructions} instrs)"
+            )
+        lines.append("sync objects:")
+        posted = self.flags.posted_keys()
+        lines.append(
+            "  flags posted: "
+            + (", ".join(f"{v}[{f}]" for v, f in posted) if posted
+               else "none")
+        )
+        for key, pids in self.flags.waiting().items():
+            waiters = ", ".join(f"P{pid}" for pid in pids)
+            lines.append(f"  flag {key[0]}[{key[1]}] awaited by {waiters}")
+        for key, (holder, queue) in self.locks.held().items():
+            queued = (
+                " (queue: " + ", ".join(f"P{p}" for p in queue) + ")"
+                if queue else ""
+            )
+            lines.append(
+                f"  lock {key[0]}[{key[1]}] held by P{holder}{queued}"
+            )
+        barrier = self.barrier
+        lines.append(
+            f"  barrier: generation {barrier.generation}, arrived "
+            f"{sorted(barrier.arrived) or '[]'}, "
+            f"pending_release={barrier.pending_release}"
+        )
+        lines.append("network:")
+        lines.append(
+            f"  in-flight message copies: {self.network.in_flight}"
+        )
+        lines.append(
+            f"  outstanding one-way stores: {self.outstanding_stores}"
+        )
+        unacked = [
+            (link, seq, record)
+            for link, records in sorted(self._unacked.items())
+            for seq, record in sorted(records.items())
+        ]
+        if unacked:
+            for link, seq, record in unacked:
+                lines.append(
+                    f"  unacked envelope {link[0]}->{link[1]} seq {seq}"
+                    f" ({record.msg.kind.value}, "
+                    f"{record.attempts} transmission(s))"
+                )
+        elif self.fault_plan is not None:
+            lines.append("  unacked envelopes: none")
+        return "\n".join(lines)
+
     # -- main loop ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -997,23 +1262,33 @@ class Simulator:
             self.schedule_resume(pid, 0)
         while self._events:
             time, _seq, payload = heapq.heappop(self._events)
-            if payload[0] == "resume":
+            tag = payload[0]
+            if tag == "resume":
                 proc = self.procs[payload[1]]
                 if proc.state is ProcState.DONE:
                     continue
                 proc.advance(time)
-            else:
+            elif tag == "deliver":
                 self.network.delivered()
                 self._handle_message(time, payload[1])
+            elif tag == "xport":
+                self.network.delivered()
+                self._handle_xport(time, payload[1])
+            elif tag == "xack":
+                self.network.delivered()
+                self._handle_xack(payload[1])
+            else:  # "retx"
+                self._handle_retx(time, *payload[1])
         if self._done_count != self.num_procs:
             blocked = [
-                f"P{p.pid} blocked on {p.block_reason}"
+                f"P{p.pid} blocked on {self._describe_block_reason(p)}"
                 for p in self.procs
                 if p.state is ProcState.BLOCKED
             ]
             raise DeadlockError(
                 "simulation stalled with no events pending: "
-                + ("; ".join(blocked) if blocked else "no blocked procs?")
+                + ("; ".join(blocked) if blocked else "no blocked procs?"),
+                report=self.deadlock_report(),
             )
         return SimulationResult(
             cycles=max(p.clock for p in self.procs),
@@ -1033,10 +1308,11 @@ def run_module(
     seed: int = 0,
     trace: bool = False,
     max_cycles: int = 500_000_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``module`` to completion."""
     sim = Simulator(
         module, num_procs, machine, seed=seed, trace=trace,
-        max_cycles=max_cycles,
+        max_cycles=max_cycles, fault_plan=fault_plan,
     )
     return sim.run()

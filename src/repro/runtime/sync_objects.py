@@ -50,6 +50,15 @@ class FlagTable:
         """Clears a flag (used between phases by some kernels)."""
         self._posted.discard(key)
 
+    def posted_keys(self) -> List[ObjKey]:
+        """Every posted flag element (deadlock forensics)."""
+        return sorted(self._posted)
+
+    def waiting(self) -> Dict[ObjKey, List[int]]:
+        """Processors still parked on unposted flags (forensics)."""
+        return {key: list(pids) for key, pids in sorted(self._waiters.items())
+                if pids}
+
 
 class LockTable:
     """FIFO lock queues, homed per object."""
@@ -85,6 +94,14 @@ class LockTable:
 
     def holder(self, key: ObjKey) -> Optional[int]:
         return self._holder.get(key)
+
+    def held(self) -> Dict[ObjKey, Tuple[int, List[int]]]:
+        """Held locks as key -> (holder, queued pids) (forensics)."""
+        return {
+            key: (holder, list(self._queue.get(key, ())))
+            for key, holder in sorted(self._holder.items())
+            if holder is not None
+        }
 
 
 @dataclass

@@ -167,8 +167,8 @@ class TestCli:
         ])
         assert status == 0
         printed = json.loads(capsys.readouterr().out)
-        assert len(printed["profiles"]) == 5
-        assert printed["totals"]["programs"] == 5  # 1 per profile
+        assert len(printed["profiles"]) == 6
+        assert printed["totals"]["programs"] == 6  # 1 per profile
 
     @pytest.mark.parametrize("flag", ["--iterations", "--schedules"])
     def test_flags_accepted(self, tmp_path, capsys, flag):
@@ -179,3 +179,58 @@ class TestCli:
         ])
         assert status == 0
         capsys.readouterr()
+
+
+class TestFaultyProfile:
+    def test_lossy_schedules_run_and_agree(self, tmp_path):
+        stats = run_campaign(config_for(tmp_path, profile="faulty"))
+        assert stats.failure_count == 0
+        assert stats.fault_runs > 0
+        assert stats.retransmits > 0
+        # every fault-free schedule gets a lossy twin
+        assert stats.schedules_run == 3 * 2 * 2
+        payload = stats.as_dict()
+        assert payload["fault_runs"] == stats.fault_runs
+        assert payload["retransmits"] == stats.retransmits
+
+    def test_faulty_campaign_is_seed_reproducible(self, tmp_path):
+        first = run_campaign(config_for(tmp_path, profile="faulty"))
+        second = run_campaign(config_for(tmp_path, profile="faulty"))
+        first_dict, second_dict = first.as_dict(), second.as_dict()
+        first_dict.pop("elapsed_seconds")
+        second_dict.pop("elapsed_seconds")
+        assert first_dict == second_dict
+
+    def test_broken_retransmission_is_caught(self, tmp_path, monkeypatch):
+        # Seeded protocol bug: retransmit timers silently do nothing,
+        # so the first dropped envelope is lost forever and the lossy
+        # run deadlocks — the campaign must surface that as a failure
+        # rather than reporting a clean pass.
+        from repro.runtime.simulator import Simulator
+
+        monkeypatch.setattr(
+            Simulator, "_handle_retx",
+            lambda self, now, link, seq: None,
+        )
+        stats = run_campaign(config_for(
+            tmp_path, profile="faulty", minimize=False,
+        ))
+        assert stats.failure_count > 0
+        assert stats.failures[0]["oracle"] == "crash"
+        assert "stalled" in stats.failures[0]["detail"]
+        assert "blocked on" in stats.failures[0]["detail"]
+
+    def test_schedule_dict_round_trips_fault_fields(self):
+        from repro.fuzz.campaign import Schedule
+
+        schedule = Schedule(
+            net_seed=7, machine="cm5", jitter=100,
+            faults="drop=0.1,dup=0.05", fault_seed=3,
+        )
+        data = schedule.as_dict()
+        assert data["faults"] == "drop=0.1,dup=0.05"
+        assert data["fault_seed"] == 3
+        plan = schedule.fault_plan()
+        assert plan is not None and plan.seed == 3
+        assert Schedule(net_seed=7, machine="cm5",
+                        jitter=100).fault_plan() is None

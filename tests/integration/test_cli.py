@@ -93,3 +93,90 @@ class TestAnalyzeReport:
         out = capsys.readouterr().out
         assert "/* blocking */" in out or "put_ctr" in out
         assert "sync counters:" in out
+
+
+DEADLOCKER = """
+shared flag_t never;
+void main() { wait(never); }
+"""
+
+
+class TestRunWithFaults:
+    def test_fault_summary_printed(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--procs", "2",
+            "--faults", "drop=0.2,dup=0.1", "--fault-seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:  drop=0.2,dup=0.1" in out
+        assert "retransmits:" in out
+        assert "duplicates:" in out
+
+    def test_fault_seed_changes_fault_decisions(
+        self, program_file, capsys
+    ):
+        outputs = []
+        for fault_seed in ("1", "2"):
+            assert main([
+                "run", program_file, "--procs", "2",
+                "--faults", "drop=0.4", "--fault-seed", fault_seed,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        # same program, same answer, different loss pattern
+        assert all("Data" not in out for out in outputs)
+        assert outputs[0] != outputs[1]
+
+    def test_bad_fault_spec_exits_two(self, program_file, capsys):
+        assert main(["run", program_file, "--faults", "drop=7"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "outside [0, 1]" in err
+
+    def test_retry_cap_exhaustion_one_line_diagnostic(
+        self, program_file, capsys
+    ):
+        assert main([
+            "run", program_file, "--procs", "2",
+            "--faults", "drop=1.0,retry_cap=2",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "undeliverable" in err
+        assert "Traceback" not in err
+
+    def test_verbose_prints_traceback(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--procs", "2",
+            "--faults", "drop=1.0,retry_cap=2", "--verbose",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "NetworkFault" in err
+
+
+class TestRunDeadlockDiagnostics:
+    @pytest.fixture()
+    def deadlock_file(self, tmp_path):
+        path = tmp_path / "deadlock.ms"
+        path.write_text(DEADLOCKER)
+        return str(path)
+
+    def test_one_line_diagnostic_and_hint(self, deadlock_file, capsys):
+        assert main(["run", deadlock_file, "--procs", "2"]) == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert lines[0].startswith("repro: error:")
+        assert "wait never[0]" in lines[0]
+        assert "--verbose" in lines[1]
+        assert len(lines) == 2
+
+    def test_verbose_includes_forensics_report(
+        self, deadlock_file, capsys
+    ):
+        assert main([
+            "run", deadlock_file, "--procs", "2", "--verbose",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "processors:" in err
+        assert "sync objects:" in err

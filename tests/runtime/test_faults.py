@@ -1,0 +1,355 @@
+"""Fault injection and the reliability protocol.
+
+Covers the :class:`FaultPlan` grammar, the lossy :meth:`Network.transmit`
+path, the simulator's ack/retransmit protocol (snapshot equality under
+loss, duplicate suppression, retry accounting, NetworkFault on cap
+exhaustion, stall windows), and the deadlock forensics report.
+"""
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.errors import DeadlockError, NetworkFault
+from repro.runtime import CM5, run_module
+from repro.runtime.network import (
+    FaultPlan,
+    LinkPartition,
+    Message,
+    MsgKind,
+    Network,
+    StallWindow,
+)
+from tests.helpers import FIGURE_1, inlined, snapshots_equal
+
+#: Deterministic neighbour exchange: owner-partitioned writes separated
+#: by barriers, so the final snapshot is schedule-independent.
+GATHER = """
+shared double A[16];
+shared double B[16];
+void main() {
+  int base = MYPROC * 4;
+  for (int i = 0; i < 4; i = i + 1) { A[base + i] = 1.0 * (base + i); }
+  barrier();
+  for (int i = 0; i < 4; i = i + 1) {
+    B[base + i] = A[(base + i + 4) % 16] * 2.0;
+  }
+  barrier();
+}
+"""
+
+
+def run(source, procs=2, seed=0, machine=CM5, **kwargs):
+    return run_module(inlined(source), procs, machine, seed=seed, **kwargs)
+
+
+class TestFaultPlanParse:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "drop=0.1, dup=0.05, drop.store_req=0.3, dup.net_ack=0.2,"
+            "spike=0.02:2000, partition=0-1@1000+5000,"
+            "stall=2@100+400, retry_cap=7, seed=9",
+        )
+        assert plan.drop == pytest.approx(0.1)
+        assert plan.duplicate == pytest.approx(0.05)
+        assert plan.drop_prob(MsgKind.STORE_REQ) == pytest.approx(0.3)
+        assert plan.drop_prob(MsgKind.GET_REQ) == pytest.approx(0.1)
+        assert plan.dup_prob(MsgKind.NET_ACK) == pytest.approx(0.2)
+        assert plan.spike_prob == pytest.approx(0.02)
+        assert plan.spike_cycles == 2000
+        assert plan.partitions == (LinkPartition(0, 1, 1000, 6000),)
+        assert plan.stalls == (StallWindow(2, 100, 500),)
+        assert plan.retry_cap == 7
+        assert plan.seed == 9
+
+    def test_describe_reparses_to_same_plan(self):
+        plan = FaultPlan.parse(
+            "drop=0.2,dup.put_req=0.1,spike=0.05:300,"
+            "partition=1-3@0+2000,stall=0@50+10,retry_cap=4",
+        )
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_empty_items_skipped(self):
+        assert FaultPlan.parse("drop=0.5,,") == FaultPlan(drop=0.5)
+
+    def test_with_seed(self):
+        assert FaultPlan.parse("drop=0.5").with_seed(3).seed == 3
+
+    @pytest.mark.parametrize("spec", [
+        "drop=1.5",
+        "dup=-0.1",
+        "drop",
+        "frobnicate=1",
+        "drop.bogus_kind=0.1",
+        "retry_cap=many",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+
+class TestFaultPlanQueries:
+    def test_partition_is_undirected_and_half_open(self):
+        plan = FaultPlan(partitions=(LinkPartition(0, 1, 100, 200),))
+        assert plan.partitioned(0, 1, 100)
+        assert plan.partitioned(1, 0, 199)
+        assert not plan.partitioned(0, 1, 99)
+        assert not plan.partitioned(0, 1, 200)  # healed
+        assert not plan.partitioned(0, 2, 150)  # other link
+
+    def test_stalled_until_chains_abutting_windows(self):
+        plan = FaultPlan(stalls=(
+            StallWindow(1, 0, 100), StallWindow(1, 100, 250),
+        ))
+        assert plan.stalled_until(1, 50) == 250
+        assert plan.stalled_until(1, 250) == 250
+        assert plan.stalled_until(0, 50) == 50  # other processor
+
+
+def make_network(plan, wire=10, jitter=0):
+    return Network(wire, jitter, seed=0, plan=plan)
+
+
+def msg(kind=MsgKind.STORE_REQ, src=0, dst=1):
+    return Message(kind, src=src, dst=dst, seq=0)
+
+
+class TestTransmit:
+    def test_certain_drop_yields_no_arrivals(self):
+        net = make_network(FaultPlan(drop=1.0))
+        assert net.transmit(msg(), now=0) == []
+        assert net.stats.total_drops == 1
+        assert net.link_stats[(0, 1)].dropped == 1
+        assert net.in_flight == 0
+
+    def test_certain_duplicate_yields_two_copies(self):
+        net = make_network(FaultPlan(duplicate=1.0))
+        arrivals = net.transmit(msg(), now=5)
+        assert arrivals == [15, 15]
+        assert net.stats.total_duplicates == 1
+        assert net.link_stats[(0, 1)].delivered_copies == 2
+        assert net.in_flight == 2
+
+    def test_partition_swallows_traffic_until_heal(self):
+        plan = FaultPlan(partitions=(LinkPartition(0, 1, 0, 100),))
+        net = make_network(plan)
+        assert net.transmit(msg(), now=50) == []
+        assert net.stats.partition_drops == 1
+        assert net.transmit(msg(), now=100) == [110]
+
+    def test_spike_inflates_latency(self):
+        net = make_network(FaultPlan(spike_prob=1.0, spike_cycles=500))
+        assert net.transmit(msg(), now=0) == [510]
+        assert net.stats.spikes == 1
+
+    def test_retransmission_counted(self):
+        net = make_network(FaultPlan())
+        net.transmit(msg(), now=0)
+        net.transmit(msg(), now=50, retransmission=True)
+        assert net.stats.retransmits == 1
+        assert net.link_stats[(0, 1)].sent == 2
+
+    def test_fault_decisions_replay_with_same_seed(self):
+        plan = FaultPlan(drop=0.5, duplicate=0.3, seed=11)
+        runs = []
+        for _ in range(2):
+            net = make_network(plan)
+            runs.append([
+                len(net.transmit(msg(), now=t)) for t in range(0, 200, 10)
+            ])
+        assert runs[0] == runs[1]
+
+    def test_describe_link_mentions_counts(self):
+        net = make_network(FaultPlan(drop=1.0))
+        net.transmit(msg(), now=0)
+        text = net.describe_link((0, 1))
+        assert "link 0->1" in text and "1 dropped" in text
+
+
+LOSSY = FaultPlan.parse("drop=0.2,dup=0.1,spike=0.05:800")
+
+
+class TestReliabilityProtocol:
+    @pytest.mark.parametrize("level", ["O0", "O1", "O3"])
+    def test_lossy_snapshots_match_fault_free(self, level):
+        program = compile_source(GATHER, OptLevel(level))
+        for seed in range(5):
+            clean = program.run(4, CM5, seed=seed)
+            lossy = program.run(
+                4, CM5, seed=seed, fault_plan=LOSSY.with_seed(seed)
+            )
+            assert snapshots_equal(clean.snapshot(), lossy.snapshot()), (
+                level, seed
+            )
+            summary = lossy.fault_summary()
+            assert summary["drops"] + summary["duplicates_injected"] > 0
+
+    def test_figure1_handshake_survives_loss(self):
+        program = compile_source(FIGURE_1, OptLevel.O3)
+        for seed in range(8):
+            result = program.run(
+                2, CM5, seed=seed,
+                fault_plan=FaultPlan(drop=0.3, duplicate=0.2, seed=seed),
+            )
+            assert result.snapshot() == {"Data": [1], "Flag": [1]}
+
+    def test_duplicates_are_suppressed_not_reapplied(self):
+        # Every transmission duplicated: the accumulating store below
+        # would double-count without receiver-side dedup.
+        source = """
+        shared double Acc[4];
+        void main() {
+          Acc[MYPROC] = 1.0 * MYPROC + 1.0;
+          barrier();
+        }
+        """
+        result = run(
+            source, procs=4,
+            fault_plan=FaultPlan(duplicate=1.0, seed=1),
+        )
+        assert result.snapshot()["Acc"] == [1.0, 2.0, 3.0, 4.0]
+        assert result.network.stats.duplicates_suppressed > 0
+
+    def test_retry_histogram_and_counters_populated(self):
+        program = compile_source(GATHER, OptLevel.O3)
+        result = program.run(
+            4, CM5, seed=0, fault_plan=FaultPlan(drop=0.4, seed=2)
+        )
+        stats = result.network.stats
+        assert result.retransmits == stats.retransmits > 0
+        assert result.drops == stats.total_drops > 0
+        histogram = stats.retry_histogram
+        assert histogram and any(k > 1 for k in histogram)
+        # every completed envelope needed at least one transmission
+        assert all(k >= 1 for k in histogram)
+
+    def test_partition_heals_and_run_completes(self):
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 0, 30_000),), seed=0
+        )
+        program = compile_source(FIGURE_1, OptLevel.O0)
+        clean = program.run(2, CM5, seed=0)
+        healed = program.run(2, CM5, seed=0, fault_plan=plan)
+        assert snapshots_equal(clean.snapshot(), healed.snapshot())
+        assert healed.network.stats.partition_drops > 0
+        assert healed.cycles > clean.cycles
+
+    def test_stall_window_delays_but_preserves_result(self):
+        plan = FaultPlan(stalls=(StallWindow(1, 0, 50_000),))
+        program = compile_source(GATHER, OptLevel.O3)
+        clean = program.run(4, CM5, seed=0)
+        stalled = program.run(4, CM5, seed=0, fault_plan=plan)
+        assert snapshots_equal(clean.snapshot(), stalled.snapshot())
+        assert stalled.cycles >= 50_000
+
+    def test_fault_free_plan_changes_nothing(self):
+        program = compile_source(GATHER, OptLevel.O3)
+        clean = program.run(4, CM5, seed=3)
+        noop = program.run(4, CM5, seed=3, fault_plan=FaultPlan())
+        assert snapshots_equal(clean.snapshot(), noop.snapshot())
+        assert noop.retransmits == 0
+
+
+class TestNetworkFault:
+    def test_retry_cap_exhaustion_raises_not_hangs(self):
+        plan = FaultPlan(drop=1.0, retry_cap=3, seed=0)
+        with pytest.raises(NetworkFault) as info:
+            run(FIGURE_1, procs=2, fault_plan=plan)
+        fault = info.value
+        assert fault.attempts == 4  # initial send + 3 retries
+        assert fault.undeliverable is not None
+        assert fault.link == (
+            fault.undeliverable.src, fault.undeliverable.dst
+        )
+        assert fault.link_stats is not None
+        assert fault.link_stats.dropped >= 4
+        assert "retry cap 3" in str(fault)
+
+    def test_permanent_partition_mentions_partition(self):
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 0, 10**9),),
+            retry_cap=2, seed=0,
+        )
+        with pytest.raises(NetworkFault) as info:
+            run(FIGURE_1, procs=2, fault_plan=plan)
+        assert "partitioned" in str(info.value)
+
+
+class TestDeadlockForensics:
+    def test_report_names_blocked_procs_and_sync_state(self):
+        source = """
+        shared flag_t never;
+        shared flag_t posted;
+        void main() {
+          if (MYPROC == 0) { post(posted); }
+          wait(never);
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(source, procs=2)
+        error = info.value
+        assert error.report is not None
+        text = str(error)
+        # one-line summary names the wait target...
+        assert "wait never[0]" in text.splitlines()[0]
+        # ...and the report covers processors, sync objects, network.
+        assert "processors:" in error.report
+        assert "P0" in error.report and "P1" in error.report
+        assert "flags posted: posted[0]" in error.report
+        assert "never[0] awaited by P0, P1" in error.report
+        assert "barrier: generation 0" in error.report
+        assert "in-flight message copies: 0" in error.report
+
+    def test_report_shows_lock_holder(self):
+        # Classic AB/BA: the flags force both processors to hold their
+        # first lock before requesting the second, so the cycle is
+        # guaranteed regardless of timing.
+        source = """
+        shared lock_t la;
+        shared lock_t lb;
+        shared flag_t f0;
+        shared flag_t f1;
+        void main() {
+          if (MYPROC == 0) {
+            lock(la); post(f0); wait(f1); lock(lb);
+            unlock(lb); unlock(la);
+          }
+          if (MYPROC == 1) {
+            lock(lb); post(f1); wait(f0); lock(la);
+            unlock(la); unlock(lb);
+          }
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(source, procs=2)
+        report = info.value.report
+        assert "lock la[0] held by P0 (queue: P1)" in report
+        assert "lock lb[0] held by P1 (queue: P0)" in report
+
+    def test_report_shows_barrier_stragglers(self):
+        source = """
+        void main() {
+          if (MYPROC != 0) { barrier(); }
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(source, procs=3)
+        report = info.value.report
+        assert "barrier generation 0 (2/3 arrived)" in str(info.value)
+        assert "arrived [1, 2]" in report
+
+    def test_report_lists_unacked_envelopes_under_faults(self):
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 0, 10**9),),
+            retry_cap=2, seed=0,
+        )
+        source = """
+        shared flag_t go;
+        void main() {
+          if (MYPROC == 0) { post(go); }
+          if (MYPROC == 1) { wait(go); }
+        }
+        """
+        # The undeliverable post exhausts its cap: NetworkFault carries
+        # the forensics instead of a silent hang.
+        with pytest.raises(NetworkFault):
+            run(source, procs=2, fault_plan=plan)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import DeadlockError, RuntimeFault
 from repro.runtime import CM5, T3D, run_module
-from repro.runtime.network import MsgKind
+from repro.runtime.network import Message, MsgKind
 from tests.helpers import frontend, inlined
 
 
@@ -314,3 +314,38 @@ class TestWaitAccounting:
         pipelined = compile_source(source, OptLevel.O2).run(4, CM5, seed=0)
         assert pipelined.total_wait_cycles < blocking.total_wait_cycles
         assert pipelined.utilization() > blocking.utilization()
+
+
+class TestThinFaultPaths:
+    """Defensive RuntimeFault branches that normal programs never hit."""
+
+    def test_float_division_by_zero_faults(self):
+        with pytest.raises(RuntimeFault, match="float division by zero"):
+            run("shared double X; void main() { X = 1.0 / 0.0; }")
+
+    def test_modulo_by_zero_faults(self):
+        with pytest.raises(RuntimeFault, match="modulo by zero"):
+            run("shared int X; void main() { X = 7 % 0; }")
+
+    def test_waking_a_non_blocked_processor_faults(self):
+        from repro.runtime.simulator import Simulator
+
+        sim = Simulator(inlined("void main() { }"), 1, CM5)
+        sim.run()
+        with pytest.raises(RuntimeFault, match="non-blocked"):
+            sim.procs[0].wake(0)
+
+    def test_unhandled_message_kind_faults(self):
+        from repro.runtime.simulator import Simulator
+
+        sim = Simulator(inlined("void main() { }"), 2, CM5)
+        stray = Message(MsgKind.NET_ACK, src=0, dst=1)
+        with pytest.raises(RuntimeFault, match="unhandled message kind"):
+            sim._handle_message(0, stray)
+
+    def test_counter_completion_underflow_faults(self):
+        from repro.runtime.simulator import Simulator
+
+        sim = Simulator(inlined("void main() { }"), 1, CM5)
+        with pytest.raises(RuntimeFault, match="underflow"):
+            sim._complete_counter(sim.procs[0], counter=0, arrival=0)
