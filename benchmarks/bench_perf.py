@@ -16,10 +16,11 @@ import json
 import os
 import time
 
+from repro import OptLevel, compile_source
 from repro.analysis.delays import AnalysisLevel, analyze_function
 from repro.apps import ALL_APPS
 from repro.cli import main as cli_main
-from repro.compiler import frontend
+from repro.compiler import frontend, open_session
 from repro.ir.inline import inline_all
 from repro.perf import profiled
 
@@ -49,6 +50,47 @@ def _cache_hit_rate(counters) -> float:
     misses = counters.get("engine.closures", 0)
     total = hits + misses
     return hits / total if total else 0.0
+
+
+def _pipeline_section() -> dict:
+    """Per-pass timings plus the cold-vs-shared O0–O4 sweep speedup.
+
+    A shared :class:`CompilationSession` runs the frontend, inlining,
+    and each delay-set analysis once for the whole sweep; the cold
+    baseline pays them per level.  The ratio is the headline win of the
+    artifact store, tracked here PR-over-PR.
+    """
+    source = _program_for(max(SIZES))
+    levels = tuple(OptLevel)
+
+    with profiled() as prof:
+        open_session(source).compile_levels(levels)
+    profile = prof.to_dict()
+    pass_timings = {
+        name: stats
+        for name, stats in profile["passes"].items()
+        if name.startswith("pass.")
+    }
+    cached_events = sum(1 for e in prof.pass_events if e["cached"])
+
+    def cold_sweep():
+        for level in levels:
+            compile_source(source, level)
+
+    def shared_sweep():
+        open_session(source).compile_levels(levels)
+
+    cold = _best_of(cold_sweep)
+    shared = _best_of(shared_sweep)
+    return {
+        "program": f"synthetic/{max(SIZES)}",
+        "levels": [level.value for level in levels],
+        "passes": pass_timings,
+        "cached_pass_events": cached_events,
+        "cold_sweep_seconds": cold,
+        "shared_sweep_seconds": shared,
+        "shared_sweep_speedup": cold / shared if shared else 0.0,
+    }
 
 
 def test_perf_trajectory():
@@ -113,6 +155,29 @@ def test_perf_trajectory():
         ("app", "accesses", "delays", "closures", "cache hit rate"),
         rows,
     )
+
+    pipeline = _pipeline_section()
+    payload["pipeline"] = pipeline
+    rows = [
+        (name[len("pass."):], stats["calls"], f"{stats['seconds']:.4f}")
+        for name, stats in sorted(
+            pipeline["passes"].items(),
+            key=lambda item: item[1]["seconds"],
+            reverse=True,
+        )
+    ]
+    print_table(
+        f"per-pass cost, shared O0–O4 sweep ({pipeline['program']})",
+        ("pass", "calls", "seconds"),
+        rows,
+    )
+    print(
+        f"\ncold sweep  {pipeline['cold_sweep_seconds']:.4f}s"
+        f"  shared sweep  {pipeline['shared_sweep_seconds']:.4f}s"
+        f"  speedup  {pipeline['shared_sweep_speedup']:.2f}x"
+        f"  ({pipeline['cached_pass_events']} cached pass events)"
+    )
+    assert pipeline["shared_sweep_speedup"] > 1.0
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -92,19 +92,39 @@ def _sync_pair_filter(u: Access, v: Access) -> bool:
 def analyze_function(
     function: Function,
     level: AnalysisLevel = AnalysisLevel.SYNC,
+    reuse_from: Optional[AnalysisResult] = None,
 ) -> AnalysisResult:
-    """Runs delay-set analysis on one (fully inlined) SPMD function."""
+    """Runs delay-set analysis on one (fully inlined) SPMD function.
+
+    ``reuse_from`` — a prior :class:`AnalysisResult` for the *same*
+    function object (typically the other :class:`AnalysisLevel`,
+    supplied by a shared :class:`~repro.pipeline.CompilationSession`).
+    The level-independent artifacts — refined index metadata, the
+    access set, the undirected conflict set, and the local-dependence
+    pairs — are taken from it instead of being recomputed; the
+    level-specific delay computation still runs in full, so results
+    are identical to a cold analysis.
+    """
     from repro.analysis import symbolic
     from repro.ir.symrefine import refine_index_metadata
     from repro.perf import profiler as perf
 
     sym_before = symbolic.cache_counters()
-    with perf.pass_timer("analysis.refine-index"):
-        refine_index_metadata(function)
-    with perf.pass_timer("analysis.access-set"):
-        accesses = AccessSet(function)
-    with perf.pass_timer("analysis.conflict-set"):
-        conflicts = ConflictSet(accesses)
+    if reuse_from is not None and reuse_from.accesses.function is function:
+        # Cross-level artifact reuse: index refinement is idempotent
+        # and AccessSet/ConflictSet depend only on the (unchanged)
+        # function, so the sibling level's copies are byte-equivalent.
+        accesses = reuse_from.accesses
+        conflicts = reuse_from.conflicts
+        perf.count("analysis.artifacts_reused")
+    else:
+        reuse_from = None
+        with perf.pass_timer("analysis.refine-index"):
+            refine_index_metadata(function)
+        with perf.pass_timer("analysis.access-set"):
+            accesses = AccessSet(function)
+        with perf.pass_timer("analysis.conflict-set"):
+            conflicts = ConflictSet(accesses)
     engine = BackPathEngine(accesses, conflicts)
 
     if level is AnalysisLevel.SAS:
@@ -120,7 +140,7 @@ def analyze_function(
             delays_by_index=delays,
         )
         _record_engine_counters(sym_before, engine)
-        return _finish(result, function)
+        return _finish(result, function, reuse_from)
 
     with perf.pass_timer("analysis.dominators"):
         dominators = DominatorTree(function)
@@ -206,7 +226,7 @@ def analyze_function(
         delays_by_index=delays,
     )
     _record_engine_counters(sym_before, engine, engine2)
-    return _finish(result, function)
+    return _finish(result, function, reuse_from)
 
 
 def _record_engine_counters(
@@ -233,7 +253,11 @@ def _record_engine_counters(
     )
 
 
-def _finish(result: AnalysisResult, function: Function) -> AnalysisResult:
+def _finish(
+    result: AnalysisResult,
+    function: Function,
+    reuse_from: Optional[AnalysisResult] = None,
+) -> AnalysisResult:
     from repro.perf import profiler as perf
 
     accesses = result.accesses
@@ -242,10 +266,14 @@ def _finish(result: AnalysisResult, function: Function) -> AnalysisResult:
         (access_list[u].uid, access_list[v].uid)
         for u, v in result.delays_by_index
     )
-    with perf.pass_timer("analysis.local-deps"):
-        result.local_dep_uid_pairs = frozenset(
-            local_dependence_pairs(accesses)
-        )
+    if reuse_from is not None and reuse_from.accesses is accesses:
+        # Same-processor dependences are level-independent.
+        result.local_dep_uid_pairs = reuse_from.local_dep_uid_pairs
+    else:
+        with perf.pass_timer("analysis.local-deps"):
+            result.local_dep_uid_pairs = frozenset(
+                local_dependence_pairs(accesses)
+            )
     stats = result.stats
     stats.num_accesses = len(accesses)
     stats.num_sync_accesses = len(accesses.sync_accesses())

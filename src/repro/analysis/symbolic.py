@@ -515,11 +515,11 @@ def _may_be_equal_perm(
 ) -> bool:
     """Collision test when permutation terms are involved.
 
-    The key facts: ``(MYPROC + c) % PROCS`` is a *bijection* of the
+    The key fact: ``(MYPROC + c) % PROCS`` is a *bijection* of the
     processor id, so for a common shift distinct processors yield
-    distinct values; and for equal processors distinct shifts yield
-    distinct values (``PROCS`` exceeds any static shift difference in
-    the limit that matters for a sound "disjoint" claim).
+    distinct values.  Distinct shifts prove nothing on their own —
+    ``PROCS`` may divide the shift difference (e.g. shifts 0 and 2 with
+    two processors), so those cases admit both behaviors.
     """
     decomposed_l = _decompose_proc_term(left)
     decomposed_r = _decompose_proc_term(right)
@@ -540,12 +540,20 @@ def _may_be_equal_perm(
                 return _may_be_equal_affine(
                     left2, right2, left_domains, right_domains, True
                 )
-            # Distinct shifts on one processor give distinct values in
-            # [0, PROCS); with x != y the difference c*(x - y) behaves
-            # exactly like the p != q case.
+            # Distinct shifts on one processor give distinct values
+            # only when PROCS does not divide the shift difference.  A
+            # difference of +-1 is safe (no PROCS >= 2 divides it); any
+            # larger difference is divided by itself, so for unknown
+            # PROCS both the "values differ" (p != q-like) and "values
+            # equal" behaviors must be admitted.
             if coeff_l == coeff_r:
-                return _may_be_equal_affine(
+                differ = _may_be_equal_affine(
                     left2, right2, left_domains, right_domains, False
+                )
+                if abs(shift_l - shift_r) == 1:
+                    return differ
+                return differ or _may_be_equal_affine(
+                    left2, right2, left_domains, right_domains, True
                 )
             return True
         if shift_l == shift_r:

@@ -4,11 +4,14 @@
 
     repro analyze program.ms [--level sas|sync]
     repro compile program.ms [--opt O0..O4] [--emit]
+              [--verify-each-pass] [--print-after-pass PASS]
     repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
               [--faults drop=0.1,dup=0.05] [--fault-seed 0] [--verbose]
+    repro passes
     repro bench-app ocean [--procs 8] [--machine cm5]
     repro fuzz [--iterations N | --budget-seconds S] [--seed 0]
                [--profile mixed|sync_heavy|lock_heavy|...|all]
+               [--verify-passes]
 
 ``repro`` is also usable as ``python -m repro``.
 """
@@ -40,6 +43,35 @@ def _add_profile(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pipeline_debug(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify-each-pass", action="store_true",
+        help="re-verify the IR after every mutating codegen pass, "
+             "pinning a verifier failure to the pass that caused it",
+    )
+    parser.add_argument(
+        "--print-after-pass", action="append", default=None,
+        metavar="PASS",
+        help="dump the working IR after the named pass "
+             "('all' = after every mutating pass); repeatable — "
+             "see 'repro passes' for the pass names",
+    )
+
+
+def _pipeline_options(args: argparse.Namespace):
+    """PipelineOptions from the debug flags (None = environment only)."""
+    verify = getattr(args, "verify_each_pass", False)
+    prints = tuple(getattr(args, "print_after_pass", None) or ())
+    if not verify and not prints:
+        return None
+    from repro.pipeline import PipelineOptions
+
+    options = PipelineOptions.from_env()
+    options.verify_each_pass = options.verify_each_pass or verify
+    options.print_after = prints
+    return options
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     level = (
         AnalysisLevel.SAS if args.level == "sas" else AnalysisLevel.SYNC
@@ -68,7 +100,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     program = compile_source(
-        _read_source(args.source), OptLevel(args.opt), filename=args.source
+        _read_source(args.source), OptLevel(args.opt),
+        filename=args.source, options=_pipeline_options(args),
     )
     report = program.report
     print(f"opt level:          {program.opt_level.value}")
@@ -141,7 +174,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     program = compile_source(
-        _read_source(args.source), OptLevel(args.opt), filename=args.source
+        _read_source(args.source), OptLevel(args.opt),
+        filename=args.source, options=_pipeline_options(args),
     )
     machine = get_machine(args.machine)
     from repro.errors import DeadlockError, RuntimeFault
@@ -198,6 +232,13 @@ def _cmd_bench_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_passes(args: argparse.Namespace) -> int:
+    from repro.pipeline import describe_pipelines
+
+    print(describe_pipelines())
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
@@ -240,6 +281,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             minimize=not args.no_minimize,
             jobs=args.jobs,
             use_cache=False if args.no_cache else None,
+            verify_each_pass=args.verify_passes,
         )
         stats = run_campaign(config, log=log).as_dict()
         per_profile[profile] = stats
@@ -316,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --emit: print Split-C-style surface syntax instead",
     )
     _add_profile(compile_cmd)
+    _add_pipeline_debug(compile_cmd)
     compile_cmd.set_defaults(func=_cmd_compile)
 
     run = subparsers.add_parser(
@@ -349,7 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N elements of each shared variable",
     )
     _add_profile(run)
+    _add_pipeline_debug(run)
     run.set_defaults(func=_cmd_run)
+
+    passes = subparsers.add_parser(
+        "passes",
+        help="list the registered passes, artifacts, and O0-O4 "
+             "pipelines",
+    )
+    passes.set_defaults(func=_cmd_passes)
 
     bench = subparsers.add_parser(
         "bench-app", help="run one application kernel at several levels"
@@ -424,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bypass the on-disk compile cache")
     fuzz.add_argument("--no-minimize", action="store_true",
                       help="skip delta-debugging failing programs")
+    fuzz.add_argument(
+        "--verify-passes", action="store_true",
+        help="verify the IR after every mutating codegen pass of every "
+             "compile (compiles in-process, bypassing pool and cache)",
+    )
     fuzz.add_argument(
         "--stats-out", default=None, metavar="PATH",
         help="also write the campaign-stats JSON to PATH",

@@ -1,18 +1,12 @@
-"""The optimization pipeline: analysis + codegen at a chosen level.
+"""Back-compat surface for the optimization pipeline.
 
-Levels map onto the paper's evaluation (§8):
-
-=====  =====================================================================
-level  meaning
-=====  =====================================================================
-O0     blocking accesses, no analysis (naive but sequentially consistent)
-O1     split-phase pipelining constrained by the Shasha–Snir delay set
-       (§4) — Figure 12's baseline ("unoptimized" bar)
-O2     pipelining constrained by the synchronization-aware delay set
-       (§5) — Figure 12's "pipelined communication"
-O3     O2 + put→store one-way conversion (§6) — "one-way communication"
-O4     O3 + redundant-get and dead-put elimination (§7)
-=====  =====================================================================
+The pipeline itself now lives in :mod:`repro.pipeline`: every stage is
+a registered :class:`~repro.pipeline.Pass`, the O0–O4 levels are
+declarative :class:`~repro.pipeline.PipelineSpec` data, and compiles
+run through a :class:`~repro.pipeline.CompilationSession` that caches
+frontend and analysis artifacts across levels.  This module keeps the
+long-standing import points (``OptLevel``, ``CompiledProgram``,
+``CodegenReport``, :func:`compile_module`) stable.
 
 Barrier alignment note (§5.2): the analysis orders accesses by barrier
 *phase intervals*, which is sound for every execution our runtime can
@@ -26,165 +20,27 @@ unnecessary — see DESIGN.md.
 
 from __future__ import annotations
 
-import copy
-import enum
-from dataclasses import dataclass, field
-from typing import Optional
-
-from repro.analysis.delays import (
-    AnalysisLevel,
-    AnalysisResult,
-    analyze_function,
+from repro.pipeline.program import (  # noqa: F401  (re-exports)
+    CodegenReport,
+    CompiledProgram,
+    OptLevel,
 )
-from repro.codegen.constraints import MotionConstraints
-from repro.codegen.counters import coalesce_counters
-from repro.codegen.oneway import convert_one_way
-from repro.codegen.reuse import (
-    eliminate_dead_puts,
-    eliminate_redundant_gets,
-)
-from repro.codegen.splitphase import (
-    convert_to_split_phase,
-    fuse_gets_into_locals,
-)
-from repro.codegen.hoist import hoist_gets
-from repro.codegen.syncmotion import place_syncs
-from repro.codegen.verify import verify_compiled
-from repro.ir.cfg import Module
-from repro.ir.inline import inline_all
-
-
-class OptLevel(enum.Enum):
-    O0 = "O0"
-    O1 = "O1"
-    O2 = "O2"
-    O3 = "O3"
-    O4 = "O4"
-
-    @property
-    def rank(self) -> int:
-        return int(self.value[1])
-
-
-@dataclass
-class CodegenReport:
-    """What the passes did — consumed by tests and benches."""
-
-    converted_reads: int = 0
-    converted_writes: int = 0
-    gets_fused: int = 0
-    gets_hoisted: int = 0
-    sync_moves: int = 0
-    one_way_conversions: int = 0
-    counters_before: int = 0
-    counters_after: int = 0
-    gets_eliminated: int = 0
-    puts_eliminated: int = 0
-
-
-@dataclass
-class CompiledProgram:
-    """An optimized module plus everything produced along the way."""
-
-    module: Module
-    opt_level: OptLevel
-    analysis: Optional[AnalysisResult] = None
-    report: CodegenReport = field(default_factory=CodegenReport)
-
-    def run(self, num_procs: int, machine=None, seed: int = 0,
-            trace: bool = False, max_cycles: int = 500_000_000,
-            fault_plan=None):
-        """Simulates the compiled program (defaults to the CM-5 model).
-
-        ``fault_plan`` (a :class:`repro.runtime.network.FaultPlan`)
-        runs the program over a lossy network behind the ack/retransmit
-        protocol; deterministic programs produce the same snapshot
-        either way.
-        """
-        from repro.runtime.machine import CM5
-        from repro.runtime.simulator import run_module
-
-        return run_module(
-            self.module,
-            num_procs,
-            machine or CM5,
-            seed=seed,
-            trace=trace,
-            max_cycles=max_cycles,
-            fault_plan=fault_plan,
-        )
-
-    def pretty(self) -> str:
-        return str(self.module)
-
-    def splitc(self) -> str:
-        """The optimized program in Split-C-flavored surface syntax."""
-        from repro.codegen.emit import emit_module
-
-        return emit_module(self.module)
 
 
 def compile_module(
-    module: Module,
+    module,
     opt_level: OptLevel = OptLevel.O3,
     clone: bool = True,
 ) -> CompiledProgram:
     """Inlines, analyzes and optimizes ``module`` at ``opt_level``.
 
     With ``clone=True`` (default) the input module is left untouched —
-    benches compile one module at several levels.
+    benches compile one module at several levels.  Runs a single-shot
+    :class:`~repro.pipeline.CompilationSession`; callers compiling one
+    module at many levels get frontend/analysis sharing by keeping a
+    session of their own instead.
     """
-    from repro.perf import profiler as perf
+    from repro.pipeline.session import CompilationSession
 
-    if clone:
-        module = copy.deepcopy(module)
-    with perf.pass_timer("codegen.inline"):
-        inline_all(module)
-    main = module.main
-
-    if opt_level is OptLevel.O0:
-        analysis = analyze_function(main, AnalysisLevel.SYNC)
-        return CompiledProgram(module, opt_level, analysis)
-
-    level = (
-        AnalysisLevel.SAS if opt_level is OptLevel.O1 else AnalysisLevel.SYNC
-    )
-    with perf.pass_timer("analysis"):
-        analysis = analyze_function(main, level)
-    constraints = MotionConstraints(analysis)
-    report = CodegenReport()
-
-    with perf.pass_timer("codegen.split-phase"):
-        info = convert_to_split_phase(main)
-    report.converted_reads = info.converted_reads
-    report.converted_writes = info.converted_writes
-
-    if opt_level.rank >= 4:
-        with perf.pass_timer("codegen.communication-elim"):
-            report.gets_eliminated = eliminate_redundant_gets(
-                main, constraints, info
-            )
-            report.puts_eliminated = eliminate_dead_puts(
-                main, constraints, info
-            )
-
-    with perf.pass_timer("codegen.fuse-gets"):
-        report.gets_fused = fuse_gets_into_locals(main, info)
-    if opt_level.rank >= 2:
-        with perf.pass_timer("codegen.hoist-gets"):
-            report.gets_hoisted = hoist_gets(main, constraints)
-    with perf.pass_timer("codegen.sync-placement"):
-        report.sync_moves = place_syncs(main, constraints, info)
-
-    if opt_level.rank >= 3:
-        with perf.pass_timer("codegen.one-way"):
-            report.one_way_conversions = convert_one_way(main, info)
-
-    with perf.pass_timer("codegen.coalesce-counters"):
-        report.counters_before, report.counters_after = coalesce_counters(
-            main
-        )
-
-    with perf.pass_timer("codegen.verify"):
-        verify_compiled(main)
-    return CompiledProgram(module, opt_level, analysis, report)
+    session = CompilationSession(module=module, clone_input=clone)
+    return session.compile(opt_level, in_place=True)

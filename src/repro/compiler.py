@@ -8,21 +8,28 @@ Typical use::
     program = compile_source(source_text, OptLevel.O3)
     result = program.run(num_procs=8, machine=CM5)
     print(result.cycles, result.snapshot()["A"])
+
+Both entry points route through one
+:class:`~repro.pipeline.CompilationSession`, so compiling and analyzing
+obtain the inlined module from the same session artifact — callers that
+need both (or several optimization levels) should open a session with
+:func:`open_session` and reuse it::
+
+    session = open_session(source_text)
+    analysis = session.analyze(AnalysisLevel.SYNC)   # frontend runs once
+    program = session.compile(OptLevel.O3)           # analysis reused
 """
 
 from __future__ import annotations
 
+from typing import Optional
 
-from repro.analysis.delays import (
-    AnalysisLevel,
-    AnalysisResult,
-    analyze_function,
-)
-from repro.codegen.pipeline import CompiledProgram, OptLevel, compile_module
+from repro.analysis.delays import AnalysisLevel, AnalysisResult
+from repro.codegen.pipeline import CompiledProgram, OptLevel
 from repro.ir.cfg import Module
-from repro.ir.inline import inline_all
 from repro.ir.lowering import lower_program
 from repro.lang import parse_and_check
+from repro.pipeline.session import CompilationSession, PipelineOptions
 
 
 def frontend(source: str, filename: str = "<input>") -> Module:
@@ -30,14 +37,30 @@ def frontend(source: str, filename: str = "<input>") -> Module:
     return lower_program(parse_and_check(source, filename))
 
 
+def open_session(
+    source: str,
+    filename: str = "<input>",
+    options: Optional[PipelineOptions] = None,
+) -> CompilationSession:
+    """A shared compilation session for ``source``.
+
+    Frontend, inlining, and delay-set analyses run at most once per
+    session and are reused by every ``compile``/``analyze`` call on it.
+    """
+    return CompilationSession(
+        source=source, filename=filename, options=options
+    )
+
+
 def compile_source(
     source: str,
     opt_level: OptLevel = OptLevel.O3,
     filename: str = "<input>",
+    options: Optional[PipelineOptions] = None,
 ) -> CompiledProgram:
     """Compiles MiniSplit source at the given optimization level."""
-    module = frontend(source, filename)
-    return compile_module(module, opt_level, clone=False)
+    session = open_session(source, filename, options)
+    return session.compile(opt_level, in_place=True)
 
 
 def analyze_source(
@@ -46,5 +69,4 @@ def analyze_source(
     filename: str = "<input>",
 ) -> AnalysisResult:
     """Runs delay-set analysis on a source program's inlined main."""
-    module = inline_all(frontend(source, filename))
-    return analyze_function(module.main, level)
+    return open_session(source, filename).analyze(level)

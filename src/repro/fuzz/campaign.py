@@ -124,6 +124,13 @@ class FuzzConfig:
     #: Compile pool width (None = auto, 0/1 = in-process).
     jobs: Optional[int] = None
     use_cache: Optional[bool] = None
+    #: Run IR verification after every mutating codegen pass (the
+    #: ``--verify-passes`` flag): each compile goes through the session
+    #: path with :class:`~repro.pipeline.PipelineOptions`
+    #: ``verify_each_pass`` set, so a pass that corrupts the IR is
+    #: pinned to its name instead of surfacing as a downstream oracle
+    #: failure.
+    verify_each_pass: bool = False
     #: Injectable compiler: (source, level_value) -> CompiledProgram.
     compile_fn: Optional[Callable[[str, str], object]] = None
     #: Injectable analyzer: (source, AnalysisLevel) -> AnalysisResult.
@@ -198,9 +205,21 @@ def _compile_levels(
         return [config.compile_fn(source, level) for level in levels]
     from repro.perf.parallel import compile_levels
 
+    options = None
+    processes = config.jobs
+    use_cache = config.use_cache
+    if config.verify_each_pass:
+        from repro.pipeline import PipelineOptions
+
+        options = PipelineOptions(verify_each_pass=True)
+        # Options only thread through the shared-session path (pool
+        # workers would quietly compile without verification), and a
+        # disk-cache hit would skip the passes being verified.
+        processes = None
+        use_cache = False
     return compile_levels(
-        source, levels, processes=config.jobs,
-        use_cache=config.use_cache,
+        source, levels, processes=processes,
+        use_cache=use_cache, options=options,
     )
 
 

@@ -245,18 +245,51 @@ def compile_levels(
     levels: Sequence[LevelLike],
     processes: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    options=None,
 ) -> List["object"]:
-    """One source at several optimization levels, through the pool.
+    """One source at several optimization levels, sharing a session.
 
     The common differential shape (``repro bench-app``, ``repro
-    fuzz``): the per-level compiles are independent, so they fan out
-    like any other batch.  Returns programs in ``levels`` order.
+    fuzz``).  By default the levels compile in-process through one
+    :class:`~repro.pipeline.CompilationSession`: the frontend,
+    inlining and each required delay-set analysis run **once** and
+    every level strikes a cheap working copy.  Passing ``processes > 1``
+    instead fans the levels out to the compile pool as independent
+    jobs — each worker re-derives its own artifacts, which only pays
+    off when individual levels dominate the shared prelude.  The
+    on-disk cache fronts both paths.  ``options`` (a
+    :class:`~repro.pipeline.PipelineOptions`) applies to the shared
+    path only.  Returns programs in ``levels`` order.
     """
-    return compile_many(
-        [(source, level) for level in levels],
-        processes=processes,
-        use_cache=use_cache,
-    )
+    if processes is not None and processes > 1:
+        return compile_many(
+            [(source, level) for level in levels],
+            processes=processes,
+            use_cache=use_cache,
+        )
+
+    from repro.perf import profiler
+    from repro.pipeline import CompilationSession, OptLevel
+
+    if use_cache is None:
+        use_cache = cache_enabled()
+    normalized = [_level_value(level) for level in levels]
+    results = {}
+    session: Optional[CompilationSession] = None
+    for level_value in dict.fromkeys(normalized):
+        program = load_cached(source, level_value) if use_cache else None
+        if program is not None:
+            profiler.count("compile.disk_cache_hits")
+        else:
+            if session is None:
+                session = CompilationSession(
+                    source=source, options=options
+                )
+            program = session.compile(OptLevel(level_value))
+            if use_cache:
+                store_cached(source, level_value, program)
+        results[level_value] = program
+    return [results[level_value] for level_value in normalized]
 
 
 def compile_many(

@@ -21,17 +21,26 @@ library code can call them unconditionally.
 JSON schema (``Profiler.to_dict``)::
 
     {
-      "version": 1,
+      "version": 2,
       "total_seconds": 0.123,
       "passes":   {"analysis.conflict-set": {"seconds": 0.05, "calls": 1}},
       "counters": {"engine.closures": 42, "engine.closure_cache_hits": 17},
-      "events":   [{"name": "compile.pool.fallback", "detail": "..."}]
+      "events":   [{"name": "compile.pool.fallback", "detail": "..."}],
+      "pass_events": [
+        {"pass": "analysis-sync", "pipeline": "O3", "seconds": 0.04,
+         "cached": false, "mutates_ir": false,
+         "provides": ["analysis.sync"]}
+      ]
     }
 
 Counters are cumulative over the profiler's lifetime; nested or repeated
 passes accumulate into one entry per name.  ``events`` records discrete
 degradation incidents — compile-pool worker deaths, timeouts, serial
 fallbacks — that a counter alone would flatten into noise.
+``pass_events`` is the pass manager's structured stream: one entry per
+pipeline stage *in execution order*, including cache hits (``cached:
+true``, zero seconds), so a multi-level compile's artifact reuse is
+directly visible.
 """
 
 from __future__ import annotations
@@ -57,6 +66,7 @@ class Profiler:
         self.passes: Dict[str, PassRecord] = {}
         self.counters: Dict[str, int] = {}
         self.events: List[Dict[str, str]] = []
+        self.pass_events: List[dict] = []
         self._started = time.perf_counter()
 
     # -- recording ---------------------------------------------------------
@@ -82,11 +92,15 @@ class Profiler:
         """Logs a discrete incident (worker crash, fallback, ...)."""
         self.events.append({"name": name, "detail": detail})
 
+    def record_pass(self, event: dict) -> None:
+        """Appends one pass-manager event to the structured stream."""
+        self.pass_events.append(event)
+
     # -- reporting ---------------------------------------------------------
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "total_seconds": time.perf_counter() - self._started,
             "passes": {
                 name: {"seconds": record.seconds, "calls": record.calls}
@@ -94,6 +108,7 @@ class Profiler:
             },
             "counters": dict(sorted(self.counters.items())),
             "events": list(self.events),
+            "pass_events": list(self.pass_events),
         }
 
     def to_json(self, indent: int = 2) -> str:

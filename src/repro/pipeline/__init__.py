@@ -1,0 +1,76 @@
+"""The pass-manager architecture: declarative pipelines over artifacts.
+
+This package turns the compile pipeline from an if-ladder into data:
+
+* :mod:`repro.pipeline.passes` — every frontend, analysis, and codegen
+  stage as a registered :class:`Pass` with declared ``requires`` /
+  ``provides`` / ``invalidates``;
+* :mod:`repro.pipeline.specs` — the O0–O4 optimization levels as
+  declarative :class:`PipelineSpec` data;
+* :mod:`repro.pipeline.artifacts` — the :class:`ArtifactStore` caching
+  intermediate results (AST, modules, delay sets, constraints) with
+  scoped invalidation;
+* :mod:`repro.pipeline.manager` — the :class:`PassManager` scheduling
+  passes by artifact dependency, with per-pass profiler timing, a
+  structured ``pass_events`` stream, and the ``--verify-each-pass`` /
+  ``--print-after-pass`` debug hooks;
+* :mod:`repro.pipeline.session` — the :class:`CompilationSession` every
+  public compile/analyze entry point routes through; shared sessions
+  reuse frontend + analysis artifacts across optimization levels.
+"""
+
+from repro.pipeline.artifacts import (
+    ANALYSIS_SAS,
+    ANALYSIS_SYNC,
+    AST,
+    CONSTRAINTS_SAS,
+    CONSTRAINTS_SYNC,
+    INLINED,
+    MODULE,
+    SPLITPHASE,
+    WORK_MAIN,
+    WORK_MODULE,
+    ArtifactStore,
+)
+from repro.pipeline.manager import PassManager
+from repro.pipeline.passes import PROVIDERS, REGISTRY, Pass
+from repro.pipeline.program import CodegenReport, CompiledProgram, OptLevel
+from repro.pipeline.session import (
+    CompilationSession,
+    PassContext,
+    PipelineOptions,
+)
+from repro.pipeline.specs import (
+    PIPELINES,
+    PipelineSpec,
+    describe_pipelines,
+    full_pass_sequence,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CompilationSession",
+    "CompiledProgram",
+    "CodegenReport",
+    "OptLevel",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PipelineOptions",
+    "PipelineSpec",
+    "PIPELINES",
+    "PROVIDERS",
+    "REGISTRY",
+    "describe_pipelines",
+    "full_pass_sequence",
+    "AST",
+    "MODULE",
+    "INLINED",
+    "ANALYSIS_SAS",
+    "ANALYSIS_SYNC",
+    "CONSTRAINTS_SAS",
+    "CONSTRAINTS_SYNC",
+    "SPLITPHASE",
+    "WORK_MODULE",
+    "WORK_MAIN",
+]

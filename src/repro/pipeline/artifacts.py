@@ -1,0 +1,112 @@
+"""The artifact store: named intermediate results with invalidation.
+
+Every pass reads and writes *artifacts* — the parsed AST, the lowered
+module, the inlined main, analysis results, codegen bookkeeping — by
+name.  A :class:`CompilationSession` owns one **session store** whose
+entries are valid for the pristine (pre-codegen) program and are shared
+across every optimization level compiled in that session; each level's
+pipeline execution layers a **level store** on top of it for the
+artifacts that describe that level's mutable working IR (the ``work.*``
+namespace).
+
+Lookups fall through a child store to its parent; writes and
+invalidations are scoped: ``work.*`` artifacts land in the level store,
+everything else in the session store, and a mutating pass that dirties
+the shared IR (an in-place compile) invalidates the session-level
+entries so a later compile re-derives them from the surviving inputs —
+or fails loudly instead of silently reusing a stale module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+# -- artifact names --------------------------------------------------------
+
+#: The parsed and type-checked surface program.
+AST = "frontend.ast"
+#: The lowered (pre-inline) IR module.
+MODULE = "ir.module"
+#: The fully inlined module — the analyses' input, kept pristine in
+#: shared sessions so per-level working copies can be struck from it.
+INLINED = "ir.inlined"
+#: Delay-set analysis results, one artifact per AnalysisLevel.
+ANALYSIS_SAS = "analysis.sas"
+ANALYSIS_SYNC = "analysis.sync"
+#: MotionConstraints wrappers over the matching analysis artifact.
+CONSTRAINTS_SAS = "constraints.sas"
+CONSTRAINTS_SYNC = "constraints.sync"
+#: The level-scoped working IR (a copy of INLINED, or INLINED itself
+#: for in-place compiles) that the codegen passes mutate.
+WORK_MODULE = "work.module"
+WORK_MAIN = "work.main"
+#: Split-phase conversion bookkeeping (counter -> initiation map).
+SPLITPHASE = "work.splitphase"
+
+#: Prefix that scopes an artifact to one level's pipeline execution.
+LEVEL_PREFIX = "work."
+
+#: Shared artifacts describing the pristine IR; a pass that mutates
+#: that IR in place dirties all of them.
+PRISTINE_IR_ARTIFACTS = (
+    INLINED,
+    ANALYSIS_SAS,
+    ANALYSIS_SYNC,
+    CONSTRAINTS_SAS,
+    CONSTRAINTS_SYNC,
+)
+
+
+def is_level_scoped(name: str) -> bool:
+    return name.startswith(LEVEL_PREFIX)
+
+
+class ArtifactStore:
+    """A name -> value cache with parent chaining and invalidation.
+
+    ``get`` falls through to the parent; ``put`` and ``invalidate``
+    touch only this store's own layer (a level store never evicts the
+    session's shared artifacts — those stay valid for the pristine
+    module it copied).
+    """
+
+    def __init__(self, parent: Optional["ArtifactStore"] = None) -> None:
+        self.parent = parent
+        self._entries: Dict[str, object] = {}
+        #: Names invalidated in this layer, in order (observability).
+        self.invalidated: List[str] = []
+
+    def has(self, name: str) -> bool:
+        if name in self._entries:
+            return True
+        return self.parent.has(name) if self.parent is not None else False
+
+    def get(self, name: str) -> object:
+        if name in self._entries:
+            return self._entries[name]
+        if self.parent is not None:
+            return self.parent.get(name)
+        raise KeyError(name)
+
+    def put(self, name: str, value: object) -> None:
+        self._entries[name] = value
+
+    def invalidate(self, name: str) -> bool:
+        """Drops ``name`` from this layer; True if it was present."""
+        if name in self._entries:
+            del self._entries[name]
+            self.invalidated.append(name)
+            return True
+        return False
+
+    def names(self) -> Iterator[str]:
+        """Every name visible from this store (child shadows parent)."""
+        seen = set(self._entries)
+        yield from sorted(seen)
+        if self.parent is not None:
+            for name in self.parent.names():
+                if name not in seen:
+                    yield name
+
+    def local_names(self) -> List[str]:
+        return sorted(self._entries)

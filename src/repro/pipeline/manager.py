@@ -1,0 +1,178 @@
+"""The pass manager: demand-driven scheduling with uniform observability.
+
+``run_pass`` is the single choke point every pipeline stage goes
+through.  It:
+
+* resolves the pass's declared ``requires`` first — a missing artifact
+  is produced by recursively running its registered provider, so the
+  frontend/analysis prelude is derived from declarations rather than
+  hard-coded in a driver;
+* skips a pass whose ``provides`` are all cached (the cross-level
+  artifact reuse: the second level's ``inline`` or ``analysis-sync``
+  is a recorded cache hit, not a recompute);
+* times every executed pass on the active profiler under
+  ``pass.<name>`` and appends a structured event (pass, pipeline,
+  seconds, cached, artifacts) to the profiler's ``pass_events`` stream;
+* applies the pass's ``invalidates`` when it mutates shared IR in
+  place, and honors the ``--verify-each-pass`` / ``--print-after-pass``
+  debug options between mutating passes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Union
+
+from repro.errors import CodegenError
+from repro.pipeline.artifacts import WORK_MAIN, is_level_scoped
+from repro.pipeline.passes import PROVIDERS, REGISTRY, Pass
+
+
+class PassManager:
+    """Schedules registered passes against declared artifact deps."""
+
+    def __init__(self, registry=None, providers=None) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self.providers = providers if providers is not None else PROVIDERS
+
+    # -- scheduling --------------------------------------------------------
+
+    def ensure(self, ctx, artifact: str) -> None:
+        """Makes ``artifact`` (alias or concrete name) available."""
+        from repro.perf import profiler as perf
+
+        name = ctx.resolve(artifact)
+        if ctx.has(name):
+            perf.count("pipeline.artifact_hits")
+            provider = self.providers.get(name)
+            if provider is not None and provider not in ctx.emitted:
+                # Make the reuse visible: record a zero-cost cache-hit
+                # event for the provider this pipeline did NOT run
+                # (at most once per pipeline execution).
+                pass_ = self.registry.get(provider)
+                if pass_ is not None:
+                    perf.count(f"pipeline.cached.{pass_.name}")
+                    self._emit_event(ctx, pass_, seconds=0.0, cached=True)
+            return
+        perf.count("pipeline.artifact_misses")
+        provider = self.providers.get(name)
+        if provider is None:
+            raise CodegenError(
+                f"pipeline: no registered pass provides artifact "
+                f"{name!r} (required by pipeline {ctx.pipeline_name})"
+            )
+        self.run_pass(ctx, provider)
+        if not ctx.has(name):
+            raise CodegenError(
+                f"pipeline: pass {provider!r} declared but did not "
+                f"store artifact {name!r}"
+            )
+
+    def run_pass(self, ctx, pass_: Union[str, Pass]) -> None:
+        """Runs one pass (resolving requirements first) with hooks."""
+        from repro.perf import profiler as perf
+
+        if isinstance(pass_, str):
+            try:
+                pass_ = self.registry[pass_]
+            except KeyError:
+                raise CodegenError(f"pipeline: unknown pass {pass_!r}")
+
+        if pass_.name in ctx.running:
+            cycle = " -> ".join(list(ctx.running) + [pass_.name])
+            raise CodegenError(
+                f"pipeline: circular pass dependency: {cycle}"
+            )
+        ctx.running.append(pass_.name)
+        try:
+            for requirement in pass_.requires:
+                self.ensure(ctx, requirement)
+
+            provides = [ctx.resolve(a) for a in pass_.provides]
+            if provides and all(ctx.has(name) for name in provides):
+                # Cache hit: everything this pass would produce is
+                # already in the store (a shared session compiling its
+                # second level, or a pre-seeded input module).
+                perf.count(f"pipeline.cached.{pass_.name}")
+                self._emit_event(ctx, pass_, seconds=0.0, cached=True)
+                return
+
+            start = time.perf_counter()
+            with perf.pass_timer(f"pass.{pass_.name}"):
+                pass_.run(ctx)
+            seconds = time.perf_counter() - start
+
+            invalidated: List[str] = []
+            if pass_.mutates_ir and ctx.in_place:
+                # The working IR *is* the session's pristine module:
+                # shared artifacts describing it are now stale.
+                for name in pass_.invalidates:
+                    if ctx.invalidate(name):
+                        invalidated.append(name)
+            self._emit_event(
+                ctx, pass_, seconds=seconds, cached=False,
+                invalidated=invalidated,
+            )
+
+            if pass_.mutates_ir:
+                self._after_mutation(ctx, pass_)
+        finally:
+            ctx.running.pop()
+
+    # -- hooks -------------------------------------------------------------
+
+    def _after_mutation(self, ctx, pass_: Pass) -> None:
+        """--verify-each-pass / --print-after-pass debug hooks."""
+        from repro.codegen.verify import verify_compiled
+        from repro.perf import profiler as perf
+
+        options = ctx.options
+        if not ctx.has(WORK_MAIN):
+            return
+        if options.verify_each_pass:
+            with perf.pass_timer("pass.verify-each-pass"):
+                try:
+                    verify_compiled(ctx.get(WORK_MAIN))
+                except CodegenError as exc:
+                    raise CodegenError(
+                        f"--verify-each-pass: IR invalid after pass "
+                        f"{pass_.name!r} ({ctx.pipeline_name}): {exc}"
+                    )
+        if options.wants_print_after(pass_.name):
+            module = ctx.get("work.module")
+            options.print_fn(
+                f"; IR after pass {pass_.name} "
+                f"({ctx.pipeline_name})\n{module}\n"
+            )
+
+    def _emit_event(self, ctx, pass_: Pass, seconds: float, cached: bool,
+                    invalidated=None) -> None:
+        from repro.perf import profiler as perf
+
+        profiler = perf.current()
+        if profiler is None:
+            return
+        event = {
+            "pass": pass_.name,
+            "pipeline": ctx.pipeline_name,
+            "seconds": round(seconds, 6),
+            "cached": cached,
+            "mutates_ir": pass_.mutates_ir,
+            "provides": [ctx.resolve(a) for a in pass_.provides],
+        }
+        if invalidated:
+            event["invalidated"] = list(invalidated)
+        ctx.emitted.add(pass_.name)
+        profiler.record_pass(event)
+
+    # -- introspection -----------------------------------------------------
+
+    def provider_of(self, ctx, artifact: str):
+        """The pass registered for (the resolution of) ``artifact``."""
+        name = self.providers.get(ctx.resolve(artifact))
+        return self.registry.get(name) if name is not None else None
+
+
+def scope_of(name: str) -> str:
+    """'level' for work.* artifacts, 'session' otherwise."""
+    return "level" if is_level_scoped(name) else "session"

@@ -1,0 +1,169 @@
+"""Declarative pipeline specifications for the optimization levels.
+
+Each :class:`PipelineSpec` is pure data: which delay-set analysis the
+level pipelines against, and the ordered codegen passes to run on the
+working IR.  The frontend/analysis prelude (parse -> lower -> inline ->
+analysis -> constraints -> materialize-ir) is not listed per level — the
+:class:`~repro.pipeline.manager.PassManager` derives it on demand from
+the passes' declared requirements, which is exactly what lets a shared
+session satisfy it once for all five levels.
+
+Adding a pass to a level — or a whole new level — is an edit to this
+table, not to a driver function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipeline.artifacts import WORK_MAIN
+from repro.pipeline.passes import PROVIDERS, REGISTRY
+from repro.pipeline.program import OptLevel
+
+#: Spec keys for the two analysis artifacts (see artifacts.py).
+SAS_KEY = "sas"
+SYNC_KEY = "sync"
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One optimization level as data."""
+
+    #: None for ad-hoc analysis-only contexts (session.analyze).
+    level: Optional[OptLevel]
+    #: Which analysis artifact "analysis"/"constraints" aliases resolve
+    #: to: "sas" (§4 Shasha–Snir) or "sync" (§5 sync-aware).
+    analysis_key: str
+    #: Codegen pass names, in execution order.
+    passes: Tuple[str, ...]
+    description: str = ""
+
+    def resolve(self, name: str) -> str:
+        """Maps alias requirement tokens to concrete artifact names."""
+        if name in ("analysis", "constraints"):
+            return f"{name}.{self.analysis_key}"
+        return name
+
+
+PIPELINES: Dict[OptLevel, PipelineSpec] = {
+    OptLevel.O0: PipelineSpec(
+        level=OptLevel.O0,
+        analysis_key=SYNC_KEY,
+        passes=(),
+        description="blocking accesses, no reordering (naive but SC)",
+    ),
+    OptLevel.O1: PipelineSpec(
+        level=OptLevel.O1,
+        analysis_key=SAS_KEY,
+        passes=(
+            "split-phase",
+            "fuse-gets",
+            "sync-placement",
+            "coalesce-counters",
+            "verify",
+        ),
+        description="split-phase pipelining under the Shasha–Snir "
+                    "delay set (§4)",
+    ),
+    OptLevel.O2: PipelineSpec(
+        level=OptLevel.O2,
+        analysis_key=SYNC_KEY,
+        passes=(
+            "split-phase",
+            "fuse-gets",
+            "hoist-gets",
+            "sync-placement",
+            "coalesce-counters",
+            "verify",
+        ),
+        description="pipelining under the synchronization-aware delay "
+                    "set (§5)",
+    ),
+    OptLevel.O3: PipelineSpec(
+        level=OptLevel.O3,
+        analysis_key=SYNC_KEY,
+        passes=(
+            "split-phase",
+            "fuse-gets",
+            "hoist-gets",
+            "sync-placement",
+            "one-way",
+            "coalesce-counters",
+            "verify",
+        ),
+        description="O2 + put→store one-way conversion (§6)",
+    ),
+    OptLevel.O4: PipelineSpec(
+        level=OptLevel.O4,
+        analysis_key=SYNC_KEY,
+        passes=(
+            "split-phase",
+            "communication-elim",
+            "fuse-gets",
+            "hoist-gets",
+            "sync-placement",
+            "one-way",
+            "coalesce-counters",
+            "verify",
+        ),
+        description="O3 + redundant-get and dead-put elimination (§7)",
+    ),
+}
+
+
+def full_pass_sequence(spec: PipelineSpec) -> List[str]:
+    """The spec's pass list with its derived prelude, for display.
+
+    Walks the requirement graph the same way the manager's demand
+    resolution does, so ``repro passes`` shows the true execution
+    order of a cold compile.
+    """
+    ordered: List[str] = []
+    seen = set()
+
+    def add_provider_of(artifact: str) -> None:
+        provider = PROVIDERS.get(spec.resolve(artifact))
+        if provider is not None:
+            add_pass(provider)
+
+    def add_pass(name: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        for req in REGISTRY[name].requires:
+            add_provider_of(req)
+        ordered.append(name)
+
+    # The session driver ensures the analysis artifacts before
+    # materializing the working IR (see CompilationSession.compile),
+    # then runs the spec.
+    add_provider_of("analysis")
+    add_provider_of("constraints")
+    add_provider_of(WORK_MAIN)
+    for name in spec.passes:
+        add_pass(name)
+    return ordered
+
+
+def describe_pipelines() -> str:
+    """Human-readable registry dump for the ``repro passes`` command."""
+    lines: List[str] = ["registered pipelines:"]
+    for level in OptLevel:
+        spec = PIPELINES[level]
+        lines.append(
+            f"  {level.value}  (analysis: {spec.analysis_key})  "
+            f"— {spec.description}"
+        )
+        lines.append("      " + " -> ".join(full_pass_sequence(spec)))
+    lines.append("")
+    lines.append("registered passes:")
+    width = max(len(name) for name in REGISTRY)
+    for name, pass_ in REGISTRY.items():
+        lines.append(f"  {name.ljust(width)}  {pass_.describe()}")
+    lines.append("")
+    lines.append(
+        "artifacts with providers: "
+        + ", ".join(sorted(PROVIDERS))
+    )
+    return "\n".join(lines)

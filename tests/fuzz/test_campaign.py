@@ -234,3 +234,27 @@ class TestFaultyProfile:
         assert plan is not None and plan.seed == 3
         assert Schedule(net_seed=7, machine="cm5",
                         jitter=100).fault_plan() is None
+
+
+class TestVerifyEachPass:
+    def test_clean_campaign_with_pass_verification(self, tmp_path):
+        """--verify-passes compiles through the session path with the
+        per-pass verifier enabled; a clean campaign stays clean."""
+        from repro.perf import profiler as perf
+
+        with perf.profiled() as prof:
+            stats = run_campaign(
+                config_for(tmp_path, iterations=2,
+                           verify_each_pass=True)
+            )
+        assert stats.failure_count == 0
+        assert prof.passes["pass.verify-each-pass"].calls > 0
+
+    def test_cli_flag_accepted(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fuzz", "--iterations", "1", "--quiet", "--verify-passes",
+            "--failures-dir", str(tmp_path / "failures"),
+        ]) == 0
+        assert '"programs": 1' in capsys.readouterr().out

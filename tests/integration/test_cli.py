@@ -180,3 +180,46 @@ class TestRunDeadlockDiagnostics:
         assert "Traceback" in err
         assert "processors:" in err
         assert "sync objects:" in err
+
+
+class TestPasses:
+    def test_lists_pipelines_and_registry(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "registered pipelines:" in out
+        assert "registered passes:" in out
+        for level in ("O0", "O1", "O2", "O3", "O4"):
+            assert level in out
+        assert "split-phase" in out
+        assert "analysis.sync" in out
+
+
+class TestPipelineDebugFlags:
+    def test_compile_verify_each_pass(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--verify-each-pass"]
+        ) == 0
+        assert "reads split-phased" in capsys.readouterr().out
+
+    def test_compile_print_after_pass(self, program_file, capsys):
+        assert main(
+            ["compile", program_file, "--print-after-pass", "split-phase"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "; IR after pass split-phase (O3)" in out
+
+    def test_run_accepts_debug_flags(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--procs", "2", "--verify-each-pass",
+        ]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_profile_emits_pass_events(self, program_file, capsys):
+        import json
+
+        assert main(["compile", program_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        names = [e["pass"] for e in payload["pass_events"]]
+        assert "split-phase" in names
+        assert "analysis-sync" in names

@@ -1,0 +1,118 @@
+"""ArtifactStore unit tests and session invalidation semantics."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.pipeline import (
+    ANALYSIS_SYNC,
+    CONSTRAINTS_SYNC,
+    INLINED,
+    MODULE,
+    ArtifactStore,
+    CompilationSession,
+    OptLevel,
+)
+from repro.pipeline.artifacts import is_level_scoped
+from tests.helpers import FIGURE_1, frontend
+
+
+class TestArtifactStore:
+    def test_put_get_has(self):
+        store = ArtifactStore()
+        assert not store.has("a")
+        store.put("a", 1)
+        assert store.has("a")
+        assert store.get("a") == 1
+        with pytest.raises(KeyError):
+            store.get("missing")
+
+    def test_parent_chaining_and_shadowing(self):
+        parent = ArtifactStore()
+        parent.put("shared", "parent-value")
+        child = ArtifactStore(parent=parent)
+        assert child.has("shared")
+        assert child.get("shared") == "parent-value"
+        child.put("shared", "child-value")
+        assert child.get("shared") == "child-value"
+        # The parent layer is untouched by the shadow.
+        assert parent.get("shared") == "parent-value"
+
+    def test_invalidate_is_local_and_recorded(self):
+        parent = ArtifactStore()
+        parent.put("x", 1)
+        child = ArtifactStore(parent=parent)
+        # Invalidation never reaches through to the parent layer.
+        assert not child.invalidate("x")
+        assert parent.has("x")
+        child.put("y", 2)
+        assert child.invalidate("y")
+        assert child.invalidated == ["y"]
+        assert not child.has("y")
+
+    def test_names_child_shadows_parent(self):
+        parent = ArtifactStore()
+        parent.put("a", 1)
+        parent.put("b", 2)
+        child = ArtifactStore(parent=parent)
+        child.put("b", 3)
+        child.put("c", 4)
+        assert list(child.names()) == ["b", "c", "a"]
+        assert child.local_names() == ["b", "c"]
+
+    def test_level_scoping(self):
+        assert is_level_scoped("work.main")
+        assert not is_level_scoped("ir.inlined")
+        assert not is_level_scoped("analysis.sync")
+
+
+class TestInvalidationOnMutatingPasses:
+    def test_in_place_compile_dirties_session_artifacts(self):
+        session = CompilationSession(source=FIGURE_1)
+        session.compile(OptLevel.O3, in_place=True)
+        # The mutating codegen passes consumed the pristine inlined
+        # module; every artifact describing it must be gone.
+        for name in (INLINED, ANALYSIS_SYNC, CONSTRAINTS_SYNC):
+            assert not session.store.has(name), name
+        assert INLINED in session.store.invalidated
+
+    def test_shared_compile_preserves_session_artifacts(self):
+        session = CompilationSession(source=FIGURE_1)
+        session.compile(OptLevel.O3)
+        for name in (INLINED, ANALYSIS_SYNC, CONSTRAINTS_SYNC):
+            assert session.store.has(name), name
+        # Only the pre-inline module was (legitimately) consumed by the
+        # inline pass; no codegen pass touched the shared artifacts.
+        assert session.store.invalidated == [MODULE]
+
+    def test_in_place_recompile_rederives_from_source(self):
+        session = CompilationSession(source=FIGURE_1)
+        first = session.compile(OptLevel.O3, in_place=True)
+        second = session.compile(OptLevel.O3, in_place=True)
+        assert first.splitc() == second.splitc()
+        assert str(first.module) == str(second.module)
+
+    def test_module_seeded_in_place_compile_is_single_shot(self):
+        module = frontend(FIGURE_1)
+        session = CompilationSession(module=module, clone_input=False)
+        session.compile(OptLevel.O3, in_place=True)
+        # No source to re-derive from: the pristine IR was consumed.
+        with pytest.raises(AnalysisError, match="re-derive"):
+            session.compile(OptLevel.O3, in_place=True)
+
+    def test_module_seeded_clone_keeps_input_untouched(self):
+        module = frontend(FIGURE_1)
+        before = str(module)
+        session = CompilationSession(module=module)
+        session.compile(OptLevel.O3, in_place=True)
+        assert str(module) == before
+        # The seeded (pre-inline) module survives in-place compiles, so
+        # the session can strike a fresh inlined copy and compile again.
+        assert session.store.has(MODULE)
+        again = session.compile(OptLevel.O1, in_place=True)
+        assert again.opt_level is OptLevel.O1
+
+    def test_exactly_one_of_source_or_module(self):
+        with pytest.raises(ValueError):
+            CompilationSession()
+        with pytest.raises(ValueError):
+            CompilationSession(source=FIGURE_1, module=frontend(FIGURE_1))
