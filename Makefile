@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf perf-gate fuzz fuzz-faults examples smoke all
+.PHONY: test bench perf perf-scale perf-gate fuzz fuzz-faults examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -13,11 +13,15 @@ bench:
 perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf.py -q -s
 
-perf-gate:
-	cp BENCH_analysis.json /tmp/BENCH_baseline.json
-	$(PYTHON) -m pytest benchmarks/bench_perf.py -q -s
+# CI ladder: sizes trimmed to 128 (512 is a local/refresh-only size),
+# output redirected so the committed baseline stays untouched.
+perf-scale:
+	REPRO_PERF_SIZES=8,16,32,64,128 REPRO_PERF_OUTPUT=BENCH_scale.json \
+		$(PYTHON) -m pytest benchmarks/bench_perf.py::test_perf_trajectory -q -s
+
+perf-gate: perf-scale
 	$(PYTHON) benchmarks/check_regression.py \
-		--baseline /tmp/BENCH_baseline.json --fresh BENCH_analysis.json
+		--baseline BENCH_analysis.json --fresh BENCH_scale.json
 
 fuzz:
 	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile all

@@ -168,30 +168,98 @@ class AccessSet:
         return reach
 
     def _compute_program_order(self) -> List[int]:
-        """Bitset rows: bit j of row i set iff access i precedes j in P."""
+        """Bitset rows: bit j of row i set iff access i precedes j in P.
+
+        Built from per-block bitmasks: ``a``'s row is the suffix of its
+        own block after ``a`` plus the whole mask of every reachable
+        block.  A block inside a loop reaches itself, so its full mask —
+        including ``a`` and its predecessors — is re-admitted, which is
+        exactly the loop-carried case of the per-access formulation.
+        """
         rows = [0] * len(self.accesses)
         by_block: Dict[str, List[Access]] = {}
         for access in self.accesses:
             by_block.setdefault(access.block, []).append(access)
+        block_mask: Dict[str, int] = {}
         for label, members in by_block.items():
             members.sort(key=lambda a: a.position)
-        for a in self.accesses:
-            row = 0
-            # Same block, later position.
-            for b in by_block.get(a.block, ()):
-                if b.position > a.position:
-                    row |= 1 << b.index
-            # Other blocks reachable from a's block; if a's block can reach
-            # itself (a loop), earlier accesses in the block follow too.
-            reachable = self._block_reach[a.block]
-            for label in reachable:
-                for b in by_block.get(label, ()):
-                    if label == a.block and b.position <= a.position:
-                        row |= 1 << b.index  # loop-carried (includes self)
-                    elif label != a.block:
-                        row |= 1 << b.index
-            rows[a.index] = row
+            mask = 0
+            for b in members:
+                mask |= 1 << b.index
+            block_mask[label] = mask
+        reach_union: Dict[str, int] = {}
+        for label in by_block:
+            union = 0
+            for other in self._block_reach[label]:
+                union |= block_mask.get(other, 0)
+            reach_union[label] = union
+        for label, members in by_block.items():
+            union = reach_union[label]
+            # Suffix masks, built back-to-front: strictly-later accesses
+            # of the same block.
+            suffix = 0
+            for b in reversed(members):
+                rows[b.index] = suffix | union
+                suffix |= 1 << b.index
+        # Kept for the structured sweeps below (fold_over_p, the
+        # transposed order): same grouping, computed once.
+        self._by_block = by_block
+        self._block_mask = block_mask
+        self._p_pred_cache: Optional[List[int]] = None
         return rows
+
+    def fold_over_p(self, rows: List[int]) -> List[int]:
+        """``out[x] = rows[x] | OR of rows[y] over all y with x P y``.
+
+        The back-path engines use this to turn their t-row construction
+        (a boolean product of P* with the conflict matrix) into one
+        backward sweep per block: per-block row totals cover the
+        reachable-block part, and a running suffix OR covers the
+        same-block part — O(accesses) big-int ORs instead of one OR per
+        set bit of every P* row.
+        """
+        out = [0] * len(self.accesses)
+        block_total: Dict[str, int] = {}
+        for label, members in self._by_block.items():
+            total = 0
+            for b in members:
+                total |= rows[b.index]
+            block_total[label] = total
+        for label, members in self._by_block.items():
+            union = 0
+            for other in self._block_reach[label]:
+                union |= block_total.get(other, 0)
+            suffix = 0
+            for b in reversed(members):
+                out[b.index] = rows[b.index] | suffix | union
+                suffix |= rows[b.index]
+        return out
+
+    def p_pred_rows(self) -> List[int]:
+        """Transposed program order: bit u of row v set iff ``u P v``.
+
+        Built once from the block structure (prefix masks plus the
+        reverse block-reachability union) and cached; both back-path
+        engines of an analysis share it.
+        """
+        if self._p_pred_cache is None:
+            pred = [0] * len(self.accesses)
+            rev_union: Dict[str, int] = {label: 0 for label in self._by_block}
+            for source, reachset in self._block_reach.items():
+                mask = self._block_mask.get(source, 0)
+                if not mask:
+                    continue
+                for target in reachset:
+                    if target in rev_union:
+                        rev_union[target] |= mask
+            for label, members in self._by_block.items():
+                union = rev_union[label]
+                prefix = 0
+                for b in members:
+                    pred[b.index] = prefix | union
+                    prefix |= 1 << b.index
+            self._p_pred_cache = pred
+        return self._p_pred_cache
 
     def program_order(self, a: Access, b: Access) -> bool:
         """True iff ``a P b`` (some execution path runs a then b)."""
@@ -210,6 +278,10 @@ class AccessSet:
                 if row >> b.index & 1:
                     pairs.append((a, b))
         return pairs
+
+    def p_pair_count(self) -> int:
+        """len(p_pairs()) without materializing the pair list."""
+        return sum(bin(row).count("1") for row in self._p_rows)
 
     def sync_accesses(self) -> List[Access]:
         return [a for a in self.accesses if a.is_sync]

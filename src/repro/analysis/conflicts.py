@@ -45,7 +45,10 @@ def _domains(meta: Optional[IndexMeta]) -> Dict[str, VarDomain]:
 
 #: Pair-level memo over (IndexMeta, IndexMeta, same_processor): the
 #: answer depends only on the (frozen, hashable) index metadata, and
-#: real programs repeat a few index shapes across many accesses.
+#: real programs repeat a few index shapes across many accesses.  Hits
+#: and misses are charged to the ``symbolic.cache_*`` counters — this
+#: memo *is* the pair-level symbolic-feasibility cache, fronting the
+#: per-expression memos inside :mod:`repro.analysis.symbolic`.
 _COLLIDE_CACHE_LIMIT = 1 << 16
 _collide_cache: Dict[tuple, bool] = {}
 
@@ -59,11 +62,23 @@ def indices_may_collide(
     conflict-set question (``p != q``); with ``same_processor=True`` it
     is the local-dependence question used by code generation.
     """
-    key = (a.meta, b.meta, same_processor)
+    return _metas_may_collide(a.meta, b.meta, same_processor)
+
+
+def _metas_may_collide(
+    meta_a: Optional[IndexMeta],
+    meta_b: Optional[IndexMeta],
+    same_processor: bool,
+) -> bool:
+    from repro.analysis import symbolic
+
+    key = (meta_a, meta_b, same_processor)
     cached = _collide_cache.get(key)
     if cached is not None:
+        symbolic.note_cache_hit()
         return cached
-    answer = _indices_may_collide(a.meta, b.meta, same_processor)
+    symbolic.note_cache_miss()
+    answer = _indices_may_collide(meta_a, meta_b, same_processor)
     if len(_collide_cache) >= _COLLIDE_CACHE_LIMIT:
         _collide_cache.clear()
     _collide_cache[key] = answer
@@ -120,20 +135,55 @@ class ConflictSet:
             self._build()
 
     def _build(self) -> None:
+        """Class-grouped construction.
+
+        The conflict question depends only on ``(var, meta, is_write)``,
+        so accesses are partitioned into equivalence classes and the
+        symbolic feasibility test runs once per class *pair*; edges are
+        then broadcast with one bitmask OR per member.  Real kernels
+        have a handful of index shapes over hundreds of accesses, which
+        turns the quadratic pairwise scan into class-count work.
+        """
         by_var: Dict[str, List[Access]] = {}
         for access in self._accesses:
             by_var.setdefault(access.var, []).append(access)
         for members in by_var.values():
-            for i, a in enumerate(members):
-                for b in members[i:]:
-                    if not _kinds_conflict(a, b):
+            # (meta, is_write) -> [accesses]; insertion order preserved.
+            classes: Dict[tuple, List[Access]] = {}
+            for a in members:
+                classes.setdefault((a.meta, a.is_write), []).append(a)
+            keys = list(classes)
+            masks = {
+                key: self._member_mask(group)
+                for key, group in classes.items()
+            }
+            for i, key_a in enumerate(keys):
+                meta_a, write_a = key_a
+                group_a = classes[key_a]
+                for key_b in keys[i:]:
+                    meta_b, write_b = key_b
+                    if not (write_a or write_b):
                         continue
-                    if not indices_may_collide(a, b):
+                    if not _metas_may_collide(meta_a, meta_b, False):
                         continue
-                    self.add_edge(a, b)
-                    if a.index != b.index:
-                        self.add_edge(b, a)
-                    self.pair_count += 1
+                    group_b = classes[key_b]
+                    mask_a, mask_b = masks[key_a], masks[key_b]
+                    for a in group_a:
+                        self._rows[a.index] |= mask_b
+                    for b in group_b:
+                        self._rows[b.index] |= mask_a
+                    if key_a == key_b:
+                        k = len(group_a)
+                        self.pair_count += k * (k + 1) // 2
+                    else:
+                        self.pair_count += len(group_a) * len(group_b)
+
+    @staticmethod
+    def _member_mask(group: List[Access]) -> int:
+        mask = 0
+        for a in group:
+            mask |= 1 << a.index
+        return mask
 
     # -- mutation --------------------------------------------------------
 
@@ -143,6 +193,12 @@ class ConflictSet:
     def remove_direction(self, a: Access, b: Access) -> None:
         """Removes the directed edge ``a -> b`` (keeping ``b -> a``)."""
         self._rows[a.index] &= ~(1 << b.index)
+
+    def remove_directions(self, masks: List[int]) -> None:
+        """Bulk form: clears the bits of ``masks[i]`` from row ``i``."""
+        for i, mask in enumerate(masks):
+            if mask:
+                self._rows[i] &= ~mask
 
     def copy(self) -> "ConflictSet":
         clone = ConflictSet(self._accesses, build=False)
@@ -189,33 +245,61 @@ def local_dependence_pairs(
     by_var: Dict[str, List[Access]] = {}
     for access in accesses.data_accesses():
         by_var.setdefault(access.var, []).append(access)
+    access_by_index = list(accesses)
     for members in by_var.values():
-        writes = [a.is_write for a in members]
-        for ai, a in enumerate(members):
+        # Same class-grouping trick as ConflictSet._build: the collide
+        # answer depends only on (meta, meta), so test once per class
+        # pair and sweep members with bitmask intersections.
+        classes: Dict[tuple, List[Access]] = {}
+        for a in members:
+            classes.setdefault((a.meta, a.is_write), []).append(a)
+        masks = {}
+        write_union = 0
+        for key, group in classes.items():
+            mask = 0
+            for a in group:
+                mask |= 1 << a.index
+            masks[key] = mask
+            if key[1]:
+                write_union |= mask
+        #: meta -> mask of members b with indices_may_collide(a, b)
+        #: under same_processor=True, for a of that meta.
+        collide_masks: Dict[Optional[IndexMeta], int] = {}
+        metas = {key[0] for key in classes}
+        for meta_a in metas:
+            mask = 0
+            for key_b, group_mask in masks.items():
+                if _metas_may_collide(meta_a, key_b[0], True):
+                    mask |= group_mask
+            collide_masks[meta_a] = mask
+        #: meta -> may distinct iterations of one access collide?
+        self_collide: Dict[Optional[IndexMeta], bool] = {}
+        for meta in metas:
+            if meta is None or not meta.exprs:
+                self_collide[meta] = True
+            else:
+                self_collide[meta] = distinct_iterations_may_collide(
+                    tuple(meta.exprs), _domains(meta)
+                )
+        for a in members:
             a_row = accesses.p_row(a)
-            a_writes = writes[ai]
-            for bi, b in enumerate(members):
-                if not (a_writes or writes[bi]):
-                    continue
-                if not a_row >> b.index & 1:
-                    continue
-                if a.index == b.index:
-                    # Loop-carried self-dependence: the two instances
-                    # are *different iterations* on one processor, so
-                    # the plain same-processor test (which allows equal
-                    # loop indices) is too weak a question — use the
-                    # distinct-iteration test instead.
-                    meta = a.meta
-                    if meta is None or not meta.exprs:
-                        result.add((a.uid, b.uid))
-                        continue
-                    domains = _domains(meta)
-                    if distinct_iterations_may_collide(
-                        tuple(meta.exprs), domains
-                    ):
-                        result.add((a.uid, b.uid))
-                    continue
-                if not indices_may_collide(a, b, same_processor=True):
-                    continue
+            self_bit = 1 << a.index
+            # b must follow a in P, touch a colliding location, and at
+            # least one side must write.
+            candidates = a_row & collide_masks[a.meta] & ~self_bit
+            if not a.is_write:
+                candidates &= write_union
+            while candidates:
+                low = candidates & -candidates
+                candidates ^= low
+                b = access_by_index[low.bit_length() - 1]
                 result.add((a.uid, b.uid))
+            if a_row & self_bit and a.is_write:
+                # Loop-carried self-dependence: the two instances are
+                # *different iterations* on one processor, so the plain
+                # same-processor test (which allows equal loop indices)
+                # is too weak a question — use the distinct-iteration
+                # test instead.
+                if self_collide[a.meta]:
+                    result.add((a.uid, a.uid))
     return result

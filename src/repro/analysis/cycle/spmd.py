@@ -38,6 +38,21 @@ def _iter_bits(mask: int) -> Iterable[int]:
         mask ^= low
 
 
+def _uid_compatible(old: AccessSet, new: AccessSet) -> bool:
+    """True when two access sets share one bit numbering.
+
+    Engine state is bit-indexed, so inherited rows are meaningful
+    exactly when the access lists name the same instructions (by uid)
+    in the same dense order — the common case after an in-place IR
+    mutation that neither adds nor removes shared accesses.
+    """
+    if len(old) != len(new):
+        return False
+    return all(
+        a.uid == b.uid for a, b in zip(old.accesses, new.accesses)
+    )
+
+
 @dataclass
 class EngineStats:
     """Work counters for the profiler (``--profile``)."""
@@ -68,10 +83,20 @@ class BackPathEngine:
     """Answers back-path queries against one (P, C) configuration.
 
     The conflict set may be directed (after §5's orientation); build a
-    fresh engine after mutating it.  ``reuse_from`` lets a successor
-    engine over the *same* access set inherit the program-order tables
-    and every t-row whose in-visit conflict rows are unchanged — and,
-    when no row changed at all, the predecessor's entire closure cache.
+    fresh engine after mutating it.  ``reuse_from`` makes the successor
+    engine *incremental*: it inherits the predecessor's t-rows for
+    every access whose in-visit conflict inputs are unchanged, and —
+    row-validated — its memoized closures.  A cached closure from ``v``
+    survives when ``v``'s own conflict row is unchanged and no member
+    of the closure has a changed continuation row; since back-paths
+    only traverse closure members, an unchanged membership set implies
+    the identical fixpoint.
+
+    Reuse works across *different* access-set objects too, provided the
+    instruction-uid sequence (and therefore the bit numbering) lines
+    up — this is what makes re-analysis of a mutated IR incremental:
+    only rows whose program-order or conflict inputs actually changed
+    are recomputed.
 
     Closures are memoized per (source, exclusion-mask): the exclusion
     masks produced by §5's rules are highly shared (they come from
@@ -94,46 +119,87 @@ class BackPathEngine:
         self._closure_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: (node index, excluded mask) -> masked visit-continuation row.
         self._masked_t_cache: Dict[Tuple[int, int], int] = {}
-        self._p_pred: Optional[List[int]] = None
         self._c_rows: List[int] = [
             conflicts.row_by_index(i) for i in range(n)
         ]
         if reuse_from is not None and reuse_from._accesses is accesses:
             # P* only depends on the access set: share it outright.
             self._pstar_self = reuse_from._pstar_self
-            self._p_pred = reuse_from._p_pred
-            changed = 0
-            for i in range(n):
-                if reuse_from._c_rows[i] != self._c_rows[i]:
-                    changed |= 1 << i
-            self._t_rows = []
-            for x in range(n):
-                if self._pstar_self[x] & changed == 0:
-                    self._t_rows.append(reuse_from._t_rows[x])
-                    self.stats.t_rows_reused += 1
-                else:
-                    row = 0
-                    for y in _iter_bits(self._pstar_self[x]):
-                        row |= self._c_rows[y]
-                    self._t_rows.append(row)
-            if changed == 0:
-                # Identical graph: every memoized closure still holds.
-                self._closure_cache = dict(reuse_from._closure_cache)
-                self._masked_t_cache = dict(reuse_from._masked_t_cache)
-                self.stats.closures_reused = len(self._closure_cache)
+            self._reuse_rows(reuse_from, pstar_changed=0)
             return
+        if reuse_from is not None and not _uid_compatible(
+            reuse_from._accesses, accesses
+        ):
+            reuse_from = None
         # P* including self: one "processor visit" is x (then optionally
         # a later access y of the same copy).
         self._pstar_self: List[int] = [
             accesses.p_row(a) | (1 << a.index) for a in accesses
         ]
-        # T[x] = union of C rows over the in-visit continuations of x.
-        self._t_rows: List[int] = []
+        if reuse_from is not None:
+            pstar_changed = 0
+            for i in range(n):
+                if reuse_from._pstar_self[i] != self._pstar_self[i]:
+                    pstar_changed |= 1 << i
+            self._reuse_rows(reuse_from, pstar_changed)
+            return
+        # T[x] = union of C rows over the in-visit continuations of x:
+        # a boolean product of P* and C, computed as one structured
+        # sweep over the block layout.
+        self._t_rows: List[int] = accesses.fold_over_p(self._c_rows)
+
+    def _reuse_rows(
+        self, reuse_from: "BackPathEngine", pstar_changed: int
+    ) -> None:
+        """Inherits unchanged t-rows and still-valid memoized closures."""
+        n = self._n
+        c_changed = 0
+        for i in range(n):
+            if reuse_from._c_rows[i] != self._c_rows[i]:
+                c_changed |= 1 << i
+        # A continuation row t[x] changed iff x's own P* row changed or
+        # some in-visit partner's conflict row did.  Fresh values come
+        # from one bulk fold; the per-row test only decides provenance
+        # (and therefore which memoized closures stay valid).
+        t_changed = pstar_changed
+        fresh = (
+            self._accesses.fold_over_p(self._c_rows)
+            if c_changed or pstar_changed
+            else None
+        )
+        self._t_rows = []
         for x in range(n):
-            row = 0
-            for y in _iter_bits(self._pstar_self[x]):
-                row |= self._c_rows[y]
-            self._t_rows.append(row)
+            if (
+                pstar_changed >> x & 1 == 0
+                and self._pstar_self[x] & c_changed == 0
+            ):
+                self._t_rows.append(reuse_from._t_rows[x])
+                self.stats.t_rows_reused += 1
+            else:
+                t_changed |= 1 << x
+                self._t_rows.append(fresh[x])
+        if c_changed == 0 and pstar_changed == 0:
+            # Identical graph: every memoized closure still holds.
+            self._closure_cache = dict(reuse_from._closure_cache)
+            self._masked_t_cache = dict(reuse_from._masked_t_cache)
+            self.stats.closures_reused = len(self._closure_cache)
+            return
+        # Row-validated transfer: a closure from v is untouched by the
+        # edit when its start row (v's conflict row) is unchanged and
+        # none of its members has a changed continuation row — changed
+        # rows outside the closure were unreachable before and, having
+        # gained no in-closure predecessor, stay unreachable.
+        for (v, excluded), entry in reuse_from._closure_cache.items():
+            if c_changed >> v & 1:
+                continue
+            closure, _final = entry
+            if closure & t_changed:
+                continue
+            self._closure_cache[(v, excluded)] = entry
+            self.stats.closures_reused += 1
+        for (x, excluded), row in reuse_from._masked_t_cache.items():
+            if t_changed >> x & 1 == 0:
+                self._masked_t_cache[(x, excluded)] = row
 
     # -- closures ---------------------------------------------------------
 
@@ -148,9 +214,13 @@ class BackPathEngine:
         row = self._masked_t_cache.get(key)
         if row is None:
             row = 0
+            c_rows = self._c_rows
             # The in-visit partner y must not be excluded either.
-            for y in _iter_bits(self._pstar_self[x] & allowed):
-                row |= self._c_rows[y]
+            mask = self._pstar_self[x] & allowed
+            while mask:
+                low = mask & -mask
+                row |= c_rows[low.bit_length() - 1]
+                mask ^= low
             self._masked_t_cache[key] = row
             self.stats.masked_rows += 1
         else:
@@ -176,14 +246,19 @@ class BackPathEngine:
         closure = 0
         frontier = start
         final = 0
+        t_rows = self._t_rows
         while frontier:
             closure |= frontier
             next_frontier = 0
-            for x in _iter_bits(frontier):
+            mask = frontier
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                x = low.bit_length() - 1
                 if excluded:
                     t_row = self._masked_t_row(x, excluded, allowed)
                 else:
-                    t_row = self._t_rows[x]
+                    t_row = t_rows[x]
                 final |= t_row
                 next_frontier |= t_row & allowed & ~closure
             frontier = next_frontier
@@ -193,14 +268,7 @@ class BackPathEngine:
 
     def _p_pred_rows(self) -> List[int]:
         """Transposed program order: bit u of row v set iff u P v."""
-        if self._p_pred is None:
-            pred = [0] * self._n
-            for a in self._accesses:
-                bit = 1 << a.index
-                for v in _iter_bits(self._accesses.p_row(a)):
-                    pred[v] |= bit
-            self._p_pred = pred
-        return self._p_pred
+        return self._accesses.p_pred_rows()
 
     def back_path_targets(self, v: Access, excluded: int = 0) -> int:
         """Bitset of all ``u`` such that [u, v] has a back-path."""
@@ -243,7 +311,10 @@ class BackPathEngine:
             candidates = targets & p_pred[v.index]
             if not candidates:
                 continue
-            for u_index in _iter_bits(candidates):
+            while candidates:
+                low = candidates & -candidates
+                candidates ^= low
+                u_index = low.bit_length() - 1
                 u = accesses[u_index]
                 if pair_filter is not None and not pair_filter(u, v):
                     continue

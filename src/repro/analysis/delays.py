@@ -26,7 +26,7 @@ from repro.analysis.conflicts import (
     ConflictSet,
     local_dependence_pairs,
 )
-from repro.analysis.cycle.spmd import BackPathEngine, _iter_bits
+from repro.analysis.cycle.spmd import BackPathEngine
 from repro.analysis.sync.barriers import BarrierPhases, BarrierSegments
 from repro.analysis.sync.locks import LockGuards
 from repro.analysis.sync.postwait import match_post_wait
@@ -72,6 +72,24 @@ class AnalysisResult:
     #: Same-processor may-same-location dependences as uid pairs.
     local_dep_uid_pairs: FrozenSet[Tuple[int, int]] = frozenset()
     stats: AnalysisStats = field(default_factory=AnalysisStats)
+    #: The back-path engines that produced this result ("base" over the
+    #: undirected conflict set; "final" over the oriented one, SYNC
+    #: only).  Successor analyses — the sibling level in a shared
+    #: session, or a re-analysis after an IR mutation — seed their
+    #: engines from these, inheriting t-rows and memoized closures for
+    #: everything the change did not touch.  Deliberately excluded from
+    #: equality and pickling: they are caches, not results.
+    engines: Dict[str, "BackPathEngine"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["engines"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def is_delayed(self, earlier_uid: int, later_uid: int) -> bool:
         """Must ``later`` be held until ``earlier`` completes?"""
@@ -93,6 +111,7 @@ def analyze_function(
     function: Function,
     level: AnalysisLevel = AnalysisLevel.SYNC,
     reuse_from: Optional[AnalysisResult] = None,
+    incremental_from: Optional[AnalysisResult] = None,
 ) -> AnalysisResult:
     """Runs delay-set analysis on one (fully inlined) SPMD function.
 
@@ -101,9 +120,20 @@ def analyze_function(
     supplied by a shared :class:`~repro.pipeline.CompilationSession`).
     The level-independent artifacts — refined index metadata, the
     access set, the undirected conflict set, and the local-dependence
-    pairs — are taken from it instead of being recomputed; the
-    level-specific delay computation still runs in full, so results
-    are identical to a cold analysis.
+    pairs — are taken from it instead of being recomputed, and the
+    back-path engine inherits the sibling's memoized closures wholesale
+    (the undirected conflict graph is shared); the level-specific delay
+    computation still runs in full, so results are identical to a cold
+    analysis.
+
+    ``incremental_from`` — a prior :class:`AnalysisResult` for a
+    *mutated* version of the same program (instruction uids preserved,
+    e.g. a fuzz mutant or the IR after one more codegen pass).  The
+    access and conflict sets are rebuilt, but both engines seed from
+    the prior fixpoint: only t-rows whose program-order or conflict
+    inputs changed are recomputed, and memoized closures untouched by
+    the edit transfer.  The result is byte-identical to a cold
+    analysis — the reuse is row-validated, never assumed.
     """
     from repro.analysis import symbolic
     from repro.ir.symrefine import refine_index_metadata
@@ -125,7 +155,12 @@ def analyze_function(
             accesses = AccessSet(function)
         with perf.pass_timer("analysis.conflict-set"):
             conflicts = ConflictSet(accesses)
-    engine = BackPathEngine(accesses, conflicts)
+    base_seed = None
+    if reuse_from is not None:
+        base_seed = reuse_from.engines.get("base")
+    elif incremental_from is not None:
+        base_seed = incremental_from.engines.get("base")
+    engine = BackPathEngine(accesses, conflicts, reuse_from=base_seed)
 
     if level is AnalysisLevel.SAS:
         with perf.pass_timer("analysis.sas-delay-set"):
@@ -138,6 +173,7 @@ def analyze_function(
             precedence=None,
             d1=set(),
             delays_by_index=delays,
+            engines={"base": engine},
         )
         _record_engine_counters(sym_before, engine)
         return _finish(result, function, reuse_from)
@@ -155,8 +191,7 @@ def analyze_function(
         for post, wait in match_post_wait(accesses):
             precedence.add(post, wait)
         phases = BarrierPhases(accesses)
-        for a, b in phases.ordered_pairs():
-            precedence.add(a, b)
+        precedence.add_rows(phases.ordered_rows())
         # "R is expanded to include the transitive closure of itself
         # and D1."
         precedence.add_pairs(d1)
@@ -169,26 +204,29 @@ def analyze_function(
     with perf.pass_timer("analysis.orient"):
         oriented = conflicts.copy()
         access_list = list(accesses)
-        for a1_index, a2_index in precedence.pairs():
-            oriented.remove_direction(
-                access_list[a2_index], access_list[a1_index]
-            )
+        # Edge a2 -> a1 is removed for every [a1, a2] in R: row a2 loses
+        # exactly its R-predecessors, so the transpose rows are the
+        # removal masks.
+        oriented.remove_directions(precedence.predecessor_masks())
 
         # §5.2: drop conflict edges between barrier-separated data
         # accesses.  Their instances never share a global phase, and D1
         # (already computed, with the full conflict set) anchors each
         # access to its phase boundaries with [access, barrier] delays.
+        # Separation is symmetric and we mask every non-sync access's
+        # row, so both directions of each pair are cleared.
         segments = BarrierSegments(accesses)
+        sep_rows = segments.separated_rows()
+        data_mask = 0
         for a in access_list:
-            if a.is_sync:
-                continue
-            for b_index in _iter_bits(oriented.row(a)):
-                b = access_list[b_index]
-                if b.is_sync:
-                    continue
-                if segments.separated(a, b):
-                    oriented.remove_direction(a, b)
-                    oriented.remove_direction(b, a)
+            if not a.is_sync:
+                data_mask |= 1 << a.index
+        oriented.remove_directions(
+            [
+                sep_rows[a.index] & data_mask if not a.is_sync else 0
+                for a in access_list
+            ]
+        )
 
     # Step 6: final delay set over P ∪ C1 with access pruning.  The
     # second engine inherits the first engine's program-order tables and
@@ -196,7 +234,15 @@ def analyze_function(
     # closure cache) where conflict rows are unchanged.
     with perf.pass_timer("analysis.final-delays"):
         guards = LockGuards(accesses, dominators, d1)
-        engine2 = BackPathEngine(accesses, oriented, reuse_from=engine)
+        final_seed = engine
+        if (
+            incremental_from is not None
+            and "final" in incremental_from.engines
+        ):
+            # The prior run's oriented engine is the better donor: its
+            # closure cache holds the expensive excluded-mask closures.
+            final_seed = incremental_from.engines["final"]
+        engine2 = BackPathEngine(accesses, oriented, reuse_from=final_seed)
 
         pred_masks = precedence.predecessor_masks()
 
@@ -224,6 +270,7 @@ def analyze_function(
         precedence=precedence,
         d1=d1,
         delays_by_index=delays,
+        engines={"base": engine, "final": engine2},
     )
     _record_engine_counters(sym_before, engine, engine2)
     return _finish(result, function, reuse_from)
@@ -286,5 +333,5 @@ def _finish(
         result.precedence.pair_count() if result.precedence else 0
     )
     stats.delay_size = len(result.delays_by_index)
-    stats.p_pairs = len(accesses.p_pairs())
+    stats.p_pairs = accesses.p_pair_count()
     return result

@@ -427,6 +427,22 @@ def cache_counters() -> Dict[str, int]:
     }
 
 
+def note_cache_hit() -> None:
+    """Charges a hit on an external symbolic-feasibility memo.
+
+    The pair-level collide cache in :mod:`repro.analysis.conflicts`
+    fronts the per-expression memos here; its traffic belongs to the
+    same ``symbolic.cache_*`` counters.
+    """
+    global _cache_hits
+    _cache_hits += 1
+
+
+def note_cache_miss() -> None:
+    global _cache_misses
+    _cache_misses += 1
+
+
 def _norm_domains(
     domains: Optional[Mapping[str, VarDomain]],
 ) -> Tuple[Tuple[str, VarDomain], ...]:

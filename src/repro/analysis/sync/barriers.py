@@ -23,6 +23,7 @@ counterpart; see ``repro.codegen.pipeline`` for how we surface it.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.accesses import Access, AccessSet
@@ -110,6 +111,35 @@ class BarrierSegments:
             self.barrier_free_path(b, a)
         )
 
+    def separated_rows(self) -> List[int]:
+        """``rows[a.index]`` = bitset of accesses barrier-separated from a.
+
+        Separation only depends on the segments: same-segment accesses
+        always have a barrier-free path one way or the other (straight
+        down the segment), and cross-segment separation is mutual
+        unreachability in the segment graph.  One pass over segment
+        pairs replaces the per-access-pair queries.
+        """
+        seg_mask: Dict[Tuple[str, int], int] = {}
+        seg_of_access: List[Tuple[str, int]] = []
+        for a in self._accesses:
+            seg = self._position(a)
+            seg_of_access.append(seg)
+            seg_mask[seg] = seg_mask.get(seg, 0) | (1 << a.index)
+        sep_union: Dict[Tuple[str, int], int] = {}
+        segments = list(seg_mask)
+        for s in segments:
+            reach_s = self._reach.get(s, ())
+            union = 0
+            for t in segments:
+                if t == s or t in reach_s:
+                    continue
+                if s in self._reach.get(t, ()):
+                    continue
+                union |= seg_mask[t]
+            sep_union[s] = union
+        return [sep_union[seg] for seg in seg_of_access]
+
 
 class BarrierPhases:
     """Min/max barrier-count intervals for every access of a function."""
@@ -117,11 +147,17 @@ class BarrierPhases:
     def __init__(self, accesses: AccessSet):
         self._accesses = accesses
         function = accesses.function
-        self._weights = {
-            block.label: sum(
-                1 for instr in block.instrs if instr.op is Opcode.BARRIER
-            )
+        self._barrier_positions = {
+            block.label: [
+                index
+                for index, instr in enumerate(block.instrs)
+                if instr.op is Opcode.BARRIER
+            ]
             for block in function.blocks
+        }
+        self._weights = {
+            label: len(positions)
+            for label, positions in self._barrier_positions.items()
         }
         self._min_in = self._compute_min(function)
         self._max_in = self._compute_max(function)
@@ -264,11 +300,8 @@ class BarrierPhases:
     # -- per-access intervals --------------------------------------------------
 
     def _barriers_before(self, access: Access) -> int:
-        block = self._accesses.function.block(access.block)
-        return sum(
-            1
-            for instr in block.instrs[: access.position]
-            if instr.op is Opcode.BARRIER
+        return bisect.bisect_left(
+            self._barrier_positions[access.block], access.position
         )
 
     def _interval_of(self, access: Access) -> Tuple[int, Optional[int]]:
@@ -288,16 +321,39 @@ class BarrierPhases:
         lo_b, _hi_b = self.intervals[b.index]
         return hi_a is not UNBOUNDED and hi_a < lo_b
 
-    def ordered_pairs(self) -> List[Tuple[Access, Access]]:
-        """All interval-ordered access pairs (feeds the R relation)."""
-        result = []
+    def ordered_rows(self) -> List[int]:
+        """``rows[a.index]`` = bitset of b with every a-instance first.
+
+        Same relation as :meth:`ordered_pairs`, but as bitset rows built
+        from one sort of the ``min_phase`` values: the successors of an
+        access with bound ``hi_a`` are exactly the suffix of the sorted
+        order with ``lo_b > hi_a``.
+        """
+        items = sorted(
+            (self.intervals[a.index][0], a.index) for a in self._accesses
+        )
+        los = [lo for lo, _index in items]
+        suffix_masks = [0] * (len(items) + 1)
+        for i in range(len(items) - 1, -1, -1):
+            suffix_masks[i] = suffix_masks[i + 1] | (1 << items[i][1])
+        rows = [0] * len(los)
         for a in self._accesses:
             hi_a = self.intervals[a.index][1]
             if hi_a is UNBOUNDED:
                 continue
-            for b in self._accesses:
-                if a.index == b.index:
-                    continue
-                if self.intervals[b.index][0] > hi_a:
-                    result.append((a, b))
+            cut = bisect.bisect_right(los, hi_a)
+            rows[a.index] = suffix_masks[cut] & ~(1 << a.index)
+        return rows
+
+    def ordered_pairs(self) -> List[Tuple[Access, Access]]:
+        """All interval-ordered access pairs (feeds the R relation)."""
+        accesses = list(self._accesses)
+        result = []
+        for a_index, row in enumerate(self.ordered_rows()):
+            while row:
+                low = row & -row
+                row ^= low
+                result.append(
+                    (accesses[a_index], accesses[low.bit_length() - 1])
+                )
         return result

@@ -45,6 +45,13 @@ class PrecedenceRelation:
                 self._rows[ai] |= 1 << bi
         self._pred_masks = None
 
+    def add_rows(self, rows: List[int]) -> None:
+        """Bulk union: ORs ``rows[i]`` into row ``i`` (kept irreflexive)."""
+        for i, extra in enumerate(rows):
+            if extra:
+                self._rows[i] |= extra & ~(1 << i)
+        self._pred_masks = None
+
     def has(self, a: Access, b: Access) -> bool:
         return bool(self._rows[a.index] >> b.index & 1)
 
@@ -121,9 +128,12 @@ class PrecedenceRelation:
         n = self._n
 
         # d1_succ_dom[a1] = mask of b1 with [a1,b1] in D1 and a1 dom b1.
-        # d1_pred_dom[a2] = mask of b2 with [b2,a2] in D1 and b2 dom a2.
+        # Read transposed, row b2 is also the mask of a2 with
+        # [b2, a2] ∈ D1 and b2 dom a2 — so the inner loop produces every
+        # eligible a2 with one OR per reachable b2 instead of one
+        # membership probe per (a1, a2) pair.
         d1_succ_dom = [0] * n
-        d1_pred_dom = [0] * n
+        relevant_b2 = 0  # b2 values usable on the predecessor side
         for u_index, v_index in d1:
             u = accesses[u_index]
             v = accesses[v_index]
@@ -131,14 +141,14 @@ class PrecedenceRelation:
                 # Usable both as [a1, b1] (a1 dominating) and, read as
                 # [b2, a2], for the predecessor table (b2 dominating).
                 d1_succ_dom[u_index] |= 1 << v_index
-                d1_pred_dom[v_index] |= 1 << u_index
+                relevant_b2 |= 1 << u_index
 
         added = 0
         changed = True
         while changed:
             changed = False
-            for a1 in accesses:
-                b1_mask = d1_succ_dom[a1.index]
+            for i in range(n):
+                b1_mask = d1_succ_dom[i]
                 if not b1_mask:
                     continue
                 # Union of R rows over all candidate b1.
@@ -148,18 +158,22 @@ class PrecedenceRelation:
                     low = mask & -mask
                     reach |= self._rows[low.bit_length() - 1]
                     mask ^= low
+                reach &= relevant_b2
                 if not reach:
                     continue
-                for a2 in accesses:
-                    if a2.index == a1.index:
-                        continue
-                    if self._rows[a1.index] >> a2.index & 1:
-                        continue
-                    if reach & d1_pred_dom[a2.index]:
-                        self._rows[a1.index] |= 1 << a2.index
-                        self._pred_masks = None
-                        added += 1
-                        changed = True
+                # a2 candidates: successors (through D1-with-domination)
+                # of any b2 reachable from b1 in R.
+                candidates = 0
+                while reach:
+                    low = reach & -reach
+                    candidates |= d1_succ_dom[low.bit_length() - 1]
+                    reach ^= low
+                new_bits = candidates & ~self._rows[i] & ~(1 << i)
+                if new_bits:
+                    self._rows[i] |= new_bits
+                    self._pred_masks = None
+                    added += bin(new_bits).count("1")
+                    changed = True
             if changed:
                 self.transitive_close()
         return added

@@ -1,0 +1,150 @@
+"""Incremental re-analysis and session-threaded cache counters.
+
+The back-path engines can seed from a prior analysis of the same (or a
+mutated-in-place) function: ``analyze_function(..., incremental_from=
+prior)`` inherits t-rows and memoized closures whose inputs did not
+change.  The reuse is row-validated, so the contract is strict
+equality with a cold analysis — these tests mutate one instruction and
+check both the equality and that the reuse counters actually fired.
+
+The second half pins the cross-level cache story on real kernels: a
+shared O0–O4 session sweep must produce nonzero engine closure cache
+hits and nonzero symbolic-cache hits (the pair-level feasibility memo)
+on the application kernels.
+"""
+
+import pytest
+
+from repro import OptLevel
+from repro.analysis.delays import AnalysisLevel, analyze_function
+from repro.apps import get_app
+from repro.compiler import frontend, open_session
+from repro.ir.inline import inline_all
+from repro.ir.instructions import Opcode
+from repro.perf import profiled
+from tests.pipeline.test_session_equivalence import LITMUS
+
+
+def _fresh_main(source: str):
+    return inline_all(frontend(source)).main
+
+
+def _assert_same_analysis(a, b):
+    assert a.delays_by_index == b.delays_by_index
+    assert a.delay_uid_pairs == b.delay_uid_pairs
+    assert a.d1 == b.d1
+    assert a.local_dep_uid_pairs == b.local_dep_uid_pairs
+    assert a.stats.delay_size == b.stats.delay_size
+    assert a.stats.conflict_pairs == b.stats.conflict_pairs
+    assert a.stats.directed_conflict_edges == b.stats.directed_conflict_edges
+
+
+def _reuse_counters(result):
+    t_rows = closures = 0
+    for engine in result.engines.values():
+        t_rows += engine.stats.t_rows_reused
+        closures += engine.stats.closures_reused
+    return t_rows, closures
+
+
+class TestIncrementalReanalysis:
+    def test_unchanged_function_reuses_everything(self):
+        function = _fresh_main(LITMUS["barrier-stencil"])
+        prior = analyze_function(function, AnalysisLevel.SYNC)
+        incremental = analyze_function(
+            function, AnalysisLevel.SYNC, incremental_from=prior
+        )
+        _assert_same_analysis(incremental, prior)
+        t_rows, closures = _reuse_counters(incremental)
+        assert t_rows > 0
+        assert closures > 0
+
+    def test_mutated_instruction_matches_cold(self):
+        """Redirect one shared write to another array; incremental == cold."""
+        function = _fresh_main(LITMUS["barrier-stencil"])
+        prior = analyze_function(function, AnalysisLevel.SYNC)
+
+        mutated = None
+        for block in function.blocks:
+            for instr in block.instrs:
+                if instr.op is Opcode.WRITE_SHARED and instr.var == "B":
+                    mutated = instr
+                    break
+            if mutated is not None:
+                break
+        assert mutated is not None
+        mutated.var = "A"
+
+        incremental = analyze_function(
+            function, AnalysisLevel.SYNC, incremental_from=prior
+        )
+        cold = analyze_function(function, AnalysisLevel.SYNC)
+        _assert_same_analysis(incremental, cold)
+        # The edit must actually change the answer, or this proves
+        # nothing about validated reuse.
+        assert incremental.delays_by_index != prior.delays_by_index
+
+    def test_mutation_with_partial_reuse_keeps_counters_honest(self):
+        """A local-computation edit keeps every access row reusable."""
+        function = _fresh_main(LITMUS["figure1"])
+        prior = analyze_function(function, AnalysisLevel.SYNC)
+
+        mutated = None
+        for block in function.blocks:
+            for instr in block.instrs:
+                if instr.op is Opcode.CONST and instr.value is not None:
+                    mutated = instr
+                    break
+            if mutated is not None:
+                break
+        assert mutated is not None
+        mutated.value = mutated.value + 41
+
+        incremental = analyze_function(
+            function, AnalysisLevel.SYNC, incremental_from=prior
+        )
+        cold = analyze_function(function, AnalysisLevel.SYNC)
+        _assert_same_analysis(incremental, cold)
+        t_rows, closures = _reuse_counters(incremental)
+        assert t_rows > 0
+        assert closures > 0
+
+    def test_sas_level_incremental(self):
+        function = _fresh_main(LITMUS["figure5"])
+        prior = analyze_function(function, AnalysisLevel.SAS)
+        incremental = analyze_function(
+            function, AnalysisLevel.SAS, incremental_from=prior
+        )
+        _assert_same_analysis(incremental, prior)
+        t_rows, _closures = _reuse_counters(incremental)
+        assert t_rows > 0
+
+
+class TestSessionCacheCounters:
+    """Nonzero cache hits on real kernels, via a shared session sweep."""
+
+    @pytest.mark.parametrize("app_name", ["em3d", "ocean"])
+    def test_app_sweep_counters_fire(self, app_name):
+        app = get_app(app_name)
+        with profiled() as prof:
+            open_session(app.source(4)).compile_levels(tuple(OptLevel))
+        counters = prof.to_dict()["counters"]
+        assert counters.get("engine.closure_cache_hits", 0) > 0, counters
+        assert counters.get("symbolic.cache_hits", 0) > 0, counters
+        assert counters.get("engine.closures_reused", 0) > 0, counters
+
+    def test_most_apps_report_cache_hits(self):
+        from repro.apps import ALL_APPS
+
+        with_closure_hits = 0
+        with_symbolic_hits = 0
+        for app in ALL_APPS:
+            with profiled() as prof:
+                open_session(app.source(4)).compile_levels(tuple(OptLevel))
+            counters = prof.to_dict()["counters"]
+            if counters.get("engine.closure_cache_hits", 0) > 0:
+                with_closure_hits += 1
+            if counters.get("symbolic.cache_hits", 0) > 0:
+                with_symbolic_hits += 1
+        assert with_closure_hits >= 3
+        assert with_symbolic_hits >= 3
