@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf perf-scale perf-gate fuzz fuzz-faults examples smoke all
+.PHONY: test bench perf perf-scale perf-gate fuzz fuzz-faults fuzz-weak examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,6 +30,12 @@ fuzz:
 # drop/duplicate/partition schedules with the snapshot-agreement oracle.
 fuzz-faults:
 	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile faulty
+
+# Weak-memory robustness campaign only: every program replayed under
+# TSO/PSO store buffers (snapshots must match SC), plus the SB-litmus
+# canary proving the delay-stripped twin's reordering is caught.
+fuzz-weak:
+	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile weak_memory
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done

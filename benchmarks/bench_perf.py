@@ -65,6 +65,29 @@ OUTPUT_PATH = os.environ.get("REPRO_PERF_OUTPUT", _DEFAULT_OUTPUT)
 #: cold O0–O4 sweep (ISSUE 6 acceptance criterion).
 SYNC_PLACEMENT_SHARE_BUDGET = 0.35
 
+#: Deterministic neighbour exchange driven through the simulator for
+#: the SC-vs-weak timing comparison: enough remote traffic to exercise
+#: the store buffers, sized to clear ``check_regression.py``'s noise
+#: floor so the SC fast path is actually gated, yet cheap enough for
+#: best-of-three in CI.
+SIM_WORKLOAD = """
+shared double A[64];
+shared double B[64];
+void main() {
+  int base = MYPROC * 8;
+  for (int r = 0; r < 6; r = r + 1) {
+    for (int i = 0; i < 8; i = i + 1) {
+      A[base + i] = 1.0 * (base + i + r);
+    }
+    barrier();
+    for (int i = 0; i < 8; i = i + 1) {
+      B[base + i] = A[(base + i + 8) % 64] * 2.0;
+    }
+    barrier();
+  }
+}
+"""
+
 
 def _best_of(fn, rounds: int = 3) -> float:
     best = float("inf")
@@ -143,6 +166,51 @@ def _pipeline_section() -> dict:
         "shared_sweep_seconds": shared,
         "shared_sweep_speedup": cold / shared if shared else 0.0,
     }
+
+
+def _simulation_section() -> dict:
+    """Simulator wall time under each memory model, same workload.
+
+    Two contracts ride on these numbers:
+
+    * the SC fast path stays free — the weak-memory plumbing is one
+      ``weak is None`` branch, so ``simulation/sc`` is gated against
+      the committed baseline by ``check_regression.py`` like any other
+      kernel;
+    * the store buffers are accounted for — the TSO/PSO records carry
+      their buffered-write counts and overhead ratio so a runaway
+      drain queue shows up PR-over-PR.
+    """
+    from repro.runtime.machine import get_machine
+
+    program = compile_source(SIM_WORKLOAD, OptLevel.O3)
+    procs = 8
+    section = {}
+    for model in ("sc", "tso", "pso"):
+        machine = get_machine("cm5")
+        if model != "sc":
+            machine = machine.with_memory_model(model, drain_seed=1)
+        result = program.run(procs, machine, seed=0, trace=False)
+        seconds = _best_of(
+            lambda: program.run(procs, machine, seed=0, trace=False)
+        )
+        entry = {
+            "seconds": seconds,
+            "cycles": result.cycles,
+            "procs": procs,
+        }
+        if model == "sc":
+            assert result.weak_stats is None  # fast path actually taken
+        else:
+            assert result.weak_stats["buffered_writes"] > 0
+            entry["weak_stats"] = result.weak_stats
+        section[model] = entry
+    for model in ("tso", "pso"):
+        section[model]["overhead_vs_sc"] = (
+            section[model]["seconds"] / section["sc"]["seconds"]
+            if section["sc"]["seconds"] else 0.0
+        )
+    return section
 
 
 def test_perf_trajectory():
@@ -265,6 +333,18 @@ def test_perf_trajectory():
     # kernels, not just synthetic programs (ISSUE 6 acceptance).
     assert apps_with_closure_hits >= 3, apps_with_closure_hits
     assert apps_with_symbolic_hits >= 3, apps_with_symbolic_hits
+
+    simulation = _simulation_section()
+    payload["simulation"] = simulation
+    print_table(
+        "simulator wall time by memory model (neighbour exchange)",
+        ("model", "seconds", "cycles", "overhead vs sc"),
+        [
+            (model, f"{entry['seconds']:.4f}", entry["cycles"],
+             f"{entry.get('overhead_vs_sc', 1.0):.2f}x")
+            for model, entry in simulation.items()
+        ],
+    )
 
     pipeline = _pipeline_section()
     payload["pipeline"] = pipeline

@@ -63,6 +63,8 @@ def tracked_kernels(payload: dict) -> Iterator[Tuple[str, float]]:
         )
     for app, entry in sorted(payload.get("apps", {}).items()):
         yield f"apps/{app}", float(entry["seconds"])
+    for model, entry in sorted(payload.get("simulation", {}).items()):
+        yield f"simulation/{model}", float(entry["seconds"])
 
 
 def pass_shares(payload: dict) -> Dict[str, float]:
@@ -165,6 +167,64 @@ def compare_shares(
     return rows, violations
 
 
+def write_summary(
+    path: str,
+    rows: list,
+    share_rows: list,
+    regressions: list,
+    share_violations: list,
+    threshold: float,
+    share_factor: float,
+) -> None:
+    """Appends the comparison as GitHub-flavored markdown tables.
+
+    CI points this at ``$GITHUB_STEP_SUMMARY`` so the BENCH diff shows
+    up on the workflow run page instead of living only in job logs.
+    """
+    def ms(value) -> str:
+        return "—" if value is None else f"{value * 1e3:.2f} ms"
+
+    def pct(value) -> str:
+        return "—" if value is None else f"{value:.2%}"
+
+    lines = ["## Perf gate: BENCH diff vs committed baseline", ""]
+    if regressions or share_violations:
+        lines.append(
+            f"**FAIL** — {len(regressions)} kernel(s) beyond "
+            f"{threshold}x, {len(share_violations)} pass share(s) "
+            f"beyond {share_factor}x."
+        )
+    else:
+        lines.append(
+            f"**OK** — no kernel slower than {threshold}x baseline, "
+            f"no pass beyond {share_factor}x its sweep share."
+        )
+    lines += [
+        "",
+        "| kernel | baseline | fresh | verdict |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for kernel, before, after, verdict in rows:
+        lines.append(
+            f"| `{kernel}` | {ms(before)} | {ms(after)} | {verdict} |"
+        )
+    if share_rows:
+        lines += [
+            "",
+            "### Per-pass share of the cold O0–O4 sweep",
+            "",
+            "| pass | baseline | fresh | verdict |",
+            "| --- | ---: | ---: | --- |",
+        ]
+        for name, before, after, verdict in share_rows:
+            lines.append(
+                f"| `{name}` | {pct(before)} | {pct(after)} "
+                f"| {verdict} |"
+            )
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail CI when analysis kernels regress vs baseline"
@@ -187,6 +247,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-share", type=float, default=0.02,
         help="ignore baseline pass shares below this fraction",
+    )
+    parser.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="also append the diff as markdown tables to PATH "
+             "(CI passes $GITHUB_STEP_SUMMARY)",
     )
     args = parser.parse_args(argv)
 
@@ -214,6 +279,12 @@ def main(argv=None) -> int:
             fmt = lambda value: "   -  " if value is None else f"{value:6.2%}"
             print(f"  {name:<{width}}  {fmt(before)} -> {fmt(after)}  "
                   f"{verdict}")
+
+    if args.summary:
+        write_summary(
+            args.summary, rows, share_rows, regressions,
+            share_violations, args.threshold, args.share_factor,
+        )
 
     failed = False
     if regressions:

@@ -102,6 +102,17 @@ class AnalysisResult:
             (accesses[u], accesses[v]) for u, v in sorted(self.delays_by_index)
         ]
 
+    def fence_uids(self) -> FrozenSet[int]:
+        """Uids of delay-edge *targets* — the weak-memory fence points.
+
+        Under TSO/PSO the simulator drains a processor's store buffer
+        before executing any of these instructions.  Every delay edge
+        (u, v) is an intra-processor program-order constraint, so
+        fencing at each target v restores all delay edges, which by
+        Shasha–Snir suffices for sequentially consistent behaviour.
+        """
+        return frozenset(later for _earlier, later in self.delay_uid_pairs)
+
 
 def _sync_pair_filter(u: Access, v: Access) -> bool:
     return u.is_sync or v.is_sync

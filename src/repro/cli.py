@@ -6,6 +6,7 @@
     repro compile program.ms [--opt O0..O4] [--emit]
               [--verify-each-pass] [--print-after-pass PASS]
     repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
+              [--memory-model sc|tso|pso] [--drain-seed 0] [--strip-delays]
               [--faults drop=0.1,dup=0.05] [--fault-seed 0] [--verbose]
     repro passes
     repro bench-app ocean [--procs 8] [--machine cm5]
@@ -24,7 +25,12 @@ from typing import List, Optional
 
 from repro import OptLevel, analyze_source, compile_source
 from repro.analysis.delays import AnalysisLevel
-from repro.runtime.machine import MACHINES, get_machine
+from repro.runtime.machine import (
+    MACHINES,
+    MEMORY_MODELS,
+    get_machine,
+    validate_memory_model,
+)
 
 
 def _read_source(path: str) -> str:
@@ -168,16 +174,25 @@ def _print_fault_summary(result) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Validate every schedule knob before compiling anything: a typo'd
+    # machine or memory model (with or without --faults) gets the
+    # one-line exit-2 diagnostic, never a traceback.
     try:
         plan = _parse_faults(args)
-    except ValueError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
+        machine = get_machine(args.machine)
+        model = validate_memory_model(args.memory_model)
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: error: {message}", file=sys.stderr)
         return 2
+    if model != "sc":
+        machine = machine.with_memory_model(model, args.drain_seed)
     program = compile_source(
         _read_source(args.source), OptLevel(args.opt),
         filename=args.source, options=_pipeline_options(args),
     )
-    machine = get_machine(args.machine)
+    if args.strip_delays:
+        program = program.without_delay_fences()
     from repro.errors import DeadlockError, RuntimeFault
 
     run_kwargs = {}
@@ -193,6 +208,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"cycles:      {result.cycles}")
     print(f"instructions:{result.instructions}")
     print(f"messages:    {result.total_messages}")
+    if result.weak_stats is not None:
+        stats = result.weak_stats
+        fences = len(program.delay_fences)
+        print(f"memory model:{' ' + model} "
+              f"(drain seed {args.drain_seed}, {fences} delay fence(s)"
+              f"{', delays stripped' if args.strip_delays else ''})")
+        print(f"  buffered:  {stats['buffered_writes']} write(s), "
+              f"max depth {stats['max_depth']}")
+        print(f"  forwarded: {stats['forwards']} read(s)")
+        print(f"  drained:   {stats['drained']} background, "
+              f"{stats['fence_drained']} at {stats['fences']} fence(s)")
     if plan is not None:
         print(f"fault plan:  {plan.describe()}")
         _print_fault_summary(result)
@@ -261,7 +287,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     per_profile = {}
     totals = {
         "programs": 0, "schedules_run": 0, "runs": 0,
-        "fault_runs": 0, "retransmits": 0,
+        "fault_runs": 0, "retransmits": 0, "weak_runs": 0,
         "sc_checks": 0, "sc_skips": 0, "sc_violations": 0,
         "failures": 0,
     }
@@ -369,10 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--opt", choices=[lvl.value for lvl in OptLevel], default="O3"
     )
     run.add_argument("--procs", type=int, default=8)
+    # Not argparse ``choices``: unknown names go through the same
+    # one-line exit-2 diagnostic as bad --faults specs, even combined.
     run.add_argument(
-        "--machine", choices=sorted(MACHINES), default="cm5"
+        "--machine", default="cm5", metavar="NAME",
+        help=f"machine model ({', '.join(sorted(MACHINES))})",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--memory-model", default="sc", metavar="MODEL",
+        help="memory model the simulated hardware executes "
+             f"({', '.join(MEMORY_MODELS)}; default sc)",
+    )
+    run.add_argument(
+        "--drain-seed", type=int, default=0,
+        help="seed for the store-buffer drain schedule (weak models)",
+    )
+    run.add_argument(
+        "--strip-delays", action="store_true",
+        help="drop the compiler's delay fences before running — the "
+             "weak-memory debug twin that may exhibit non-SC outcomes",
+    )
     run.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject network faults, e.g. "

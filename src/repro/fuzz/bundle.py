@@ -61,6 +61,7 @@ def write_bundle(
         "level": failure.level,
         "schedule": failure.schedule,
         "trace_digest": failure.trace_digest,
+        "stripped": failure.stripped,
         "generator": {
             "seed": original.seed,
             "profile": original.profile,
@@ -95,9 +96,17 @@ def _repro_hint(program: GeneratedProgram,
             f" --faults '{schedule['faults']}'"
             f" --fault-seed {schedule.get('fault_seed', 0)}"
         )
+    weak = ""
+    if schedule.get("memory_model"):
+        weak = (
+            f" --memory-model {schedule['memory_model']}"
+            f" --drain-seed {schedule.get('drain_seed', 0)}"
+        )
+        if failure.stripped:
+            weak += " --strip-delays"
     return (
         f"repro run program.ms --opt {level} --procs {program.procs} "
-        f"--machine {machine} --seed {seed}{faults} --dump 8   "
+        f"--machine {machine} --seed {seed}{faults}{weak} --dump 8   "
         f"# compare against --opt O0"
     )
 

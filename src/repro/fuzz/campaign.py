@@ -76,11 +76,19 @@ class Schedule:
     #: fault-plan spec string (None = perfect network)
     faults: Optional[str] = None
     fault_seed: int = 0
+    #: memory model the simulated hardware executes ("sc" = historical)
+    memory_model: str = "sc"
+    drain_seed: int = 0
 
     def machine_config(self):
         from repro.runtime.machine import get_machine
 
-        return get_machine(self.machine).with_jitter(self.jitter)
+        machine = get_machine(self.machine).with_jitter(self.jitter)
+        if self.memory_model != "sc":
+            machine = machine.with_memory_model(
+                self.memory_model, self.drain_seed
+            )
+        return machine
 
     def fault_plan(self):
         """The parsed FaultPlan, or None on a perfect network."""
@@ -99,6 +107,9 @@ class Schedule:
         if self.faults is not None:
             data["faults"] = self.faults
             data["fault_seed"] = self.fault_seed
+        if self.memory_model != "sc":
+            data["memory_model"] = self.memory_model
+            data["drain_seed"] = self.drain_seed
         return data
 
 
@@ -131,6 +142,10 @@ class FuzzConfig:
     #: pinned to its name instead of surfacing as a downstream oracle
     #: failure.
     verify_each_pass: bool = False
+    #: Run every compiled variant as its delay-stripped twin (same IR,
+    #: weak-memory fence metadata removed).  The robustness canary sets
+    #: this to prove the compiled delays are load-bearing under TSO.
+    strip_delays: bool = False
     #: Injectable compiler: (source, level_value) -> CompiledProgram.
     compile_fn: Optional[Callable[[str, str], object]] = None
     #: Injectable analyzer: (source, AnalysisLevel) -> AnalysisResult.
@@ -157,6 +172,11 @@ class CampaignStats:
     fault_runs: int = 0
     #: retransmissions observed across all lossy runs
     retransmits: int = 0
+    #: runs executed under a TSO/PSO store buffer (subset of ``runs``)
+    weak_runs: int = 0
+    #: the SB-litmus canary verdict for weak profiles (None otherwise):
+    #: delayed build robust, stripped twin caught by the SC oracle.
+    weak_canary: Optional[dict] = None
     sc: ScTally = field(default_factory=ScTally)
     monotonicity_checks: int = 0
     failures: List[dict] = field(default_factory=list)
@@ -180,6 +200,8 @@ class CampaignStats:
             "runs": self.runs,
             "fault_runs": self.fault_runs,
             "retransmits": self.retransmits,
+            "weak_runs": self.weak_runs,
+            "weak_canary": self.weak_canary,
             "sc_checks": self.sc.checks,
             "sc_skips": self.sc.skips,
             "sc_violations": self.sc.violations,
@@ -252,6 +274,15 @@ def check_program(
         compiled = _compile_levels(source, config.levels, config)
     except ReproError as exc:
         return OracleFailure("crash", f"compile raised: {exc}")
+    if config.strip_delays:
+        # The delay-stripped twin: identical IR, no weak-memory fence
+        # metadata (injected fake compilers without the method are run
+        # as-is — they never carry fences in the first place).
+        compiled = [
+            variant.without_delay_fences()
+            if hasattr(variant, "without_delay_fences") else variant
+            for variant in compiled
+        ]
     if stats is not None:
         stats.compiles += len(config.levels)
 
@@ -285,6 +316,8 @@ def check_program(
                 if plan is not None:
                     stats.fault_runs += 1
                     stats.retransmits += result.network.stats.retransmits
+                if schedule.memory_model != "sc":
+                    stats.weak_runs += 1
 
             # Oracle 1: deterministic programs agree everywhere.
             if program.deterministic:
@@ -337,6 +370,13 @@ def _profile_is_faulty(name: str) -> bool:
     return profile is not None and profile.faulty
 
 
+def _profile_is_weak(name: str) -> bool:
+    from repro.fuzz.progen import PROFILES
+
+    profile = PROFILES.get(name)
+    return profile is not None and profile.weak
+
+
 def _make_schedules(rng: random.Random, config: FuzzConfig
                     ) -> List[Schedule]:
     schedules = [
@@ -376,7 +416,145 @@ def _make_schedules(rng: random.Random, config: FuzzConfig
                 faults=spec,
                 fault_seed=rng.getrandbits(16),
             ))
+    if _profile_is_weak(config.profile):
+        # Mirror each SC schedule with a TSO and a PSO twin (same
+        # network seed/machine/jitter, fresh drain seed).  For the
+        # deterministic weak profile the snapshot oracle then asserts
+        # SC-vs-TSO-vs-PSO agreement — the robustness oracle.
+        for base in list(schedules):
+            for model in ("tso", "pso"):
+                schedules.append(Schedule(
+                    net_seed=base.net_seed,
+                    machine=base.machine,
+                    jitter=base.jitter,
+                    memory_model=model,
+                    drain_seed=rng.getrandbits(16),
+                ))
     return schedules
+
+
+#: Drain seeds the SB-litmus canary sweeps.  Fixed (not drawn from the
+#: campaign RNG) so the canary verdict is identical for every campaign:
+#: on cm5's default drain window a majority of these seeds reorder the
+#: stripped twin's reads past its buffered writes.
+CANARY_DRAIN_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+def _canary_schedules() -> List[Schedule]:
+    return [
+        Schedule(net_seed=0, machine="cm5", jitter=0,
+                 memory_model="tso", drain_seed=drain_seed)
+        for drain_seed in CANARY_DRAIN_SEEDS
+    ]
+
+
+def _check_weak_canary(
+    config: FuzzConfig,
+    stats: CampaignStats,
+    log: Callable[[str], None],
+) -> None:
+    """The robustness oracle's teeth check, run once per weak campaign.
+
+    Compiles the SB litmus shape twice and sweeps both builds over TSO
+    drain schedules:
+
+    * the **delayed** build must stay sequentially consistent on every
+      drain seed (the compiled delays make it robust) — a violation is
+      a genuine campaign failure;
+    * the **delay-stripped twin** must exhibit the non-SC ``[0, 0]``
+      outcome on some seed and the SC oracle must catch it — if it
+      does not, the weak backend or the oracle has lost its teeth,
+      which is also a campaign failure.  The caught violation is
+      minimized and bundled like any failure (proof the whole
+      failure pipeline handles weak-memory repros), but counted under
+      ``weak_canary``, not ``failures``.
+    """
+    import dataclasses
+
+    from repro.fuzz.litmus import sb_program
+
+    program = sb_program()
+    schedules = _canary_schedules()
+    verdict: dict = {
+        "program": "sb",
+        "memory_model": "tso",
+        "drain_seeds": list(CANARY_DRAIN_SEEDS),
+    }
+    delayed = check_program(program, schedules, config, stats)
+    if delayed is not None:
+        log("weak canary: delayed SB litmus is NOT robust under TSO")
+        _handle_failure(
+            program, delayed, schedules, config, stats, -1, log
+        )
+        verdict["delayed_robust"] = False
+        verdict["caught_stripped"] = None
+        stats.weak_canary = verdict
+        return
+    verdict["delayed_robust"] = True
+
+    stripped_config = dataclasses.replace(config, strip_delays=True)
+    stripped = check_program(program, schedules, stripped_config, stats)
+    if stripped is None or stripped.oracle != "sc":
+        log(
+            "weak canary: delay-stripped SB twin showed no SC violation "
+            "- the weak backend or the SC oracle lost its teeth"
+        )
+        toothless = OracleFailure(
+            "weak_canary",
+            "delay-stripped SB litmus produced no SC violation under "
+            f"TSO across drain seeds {list(CANARY_DRAIN_SEEDS)}",
+            stripped=True,
+        )
+        _handle_failure(
+            program, toothless, schedules, config, stats, -1, log
+        )
+        verdict["caught_stripped"] = False
+        stats.weak_canary = verdict
+        return
+
+    # Expected divergence: minimize and bundle it exactly like a real
+    # failure (exercising ddmin + bundles on a weak-memory repro), but
+    # record it as the canary verdict rather than a campaign failure.
+    stripped.stripped = True
+    log(f"weak canary: stripped twin caught - {stripped.summary()}")
+    minimized = program
+    if config.minimize:
+        tests = 0
+
+        def still_fails(candidate: GeneratedProgram) -> bool:
+            nonlocal tests
+            tests += 1
+            repro = check_program(candidate, schedules, stripped_config)
+            return repro is not None and repro.oracle == stripped.oracle
+
+        minimized = minimize_program(
+            program, still_fails, max_tests=config.minimize_budget
+        )
+        stats.minimizer_tests += tests
+    bundle_dir = write_bundle(
+        config.failures_dir,
+        stripped,
+        minimized,
+        program,
+        campaign_meta={
+            "campaign_seed": config.seed,
+            "profile": config.profile,
+            "levels": list(config.levels),
+            "schedules": [s.as_dict() for s in schedules],
+            "sc_step_limit": config.sc_step_limit,
+            "iteration": -1,
+            "expected_divergence": True,
+        },
+        index=len(stats.bundles),
+    )
+    stats.bundles.append(bundle_dir)
+    verdict["caught_stripped"] = True
+    verdict["detail"] = stripped.detail
+    verdict["level"] = stripped.level
+    verdict["schedule"] = stripped.schedule
+    verdict["bundle"] = bundle_dir
+    stats.weak_canary = verdict
+    log(f"weak canary: bundle written to {bundle_dir}")
 
 
 def _handle_failure(
@@ -447,6 +625,8 @@ def run_campaign(
         seed=config.seed, profile=config.profile, levels=config.levels
     )
     start = time.monotonic()
+    if _profile_is_weak(config.profile):
+        _check_weak_canary(config, stats, log)
     iterations = config.effective_iterations()
     iteration = 0
     while True:

@@ -1,0 +1,131 @@
+"""Weak-memory litmus shapes as structured generated programs.
+
+The classic two-processor store-buffer litmus tests, rendered in
+MiniSplit over per-processor int arrays (element ``p`` of an extent-
+``procs`` array is homed on processor ``p``, so a processor's write to
+its own element goes through its store buffer while the other
+processor's read crosses the network to the backing store):
+
+* **SB** (store buffering) — each processor writes its own element
+  then reads the other's.  ``R = [0, 0]`` is impossible under SC but
+  reachable under both TSO and PSO: the reads overtake the buffered
+  writes.  This is the campaign's canary — the delay-stripped twin
+  must exhibit it, the delayed build must not.
+* **MP** (message passing) — processor 0 writes data then a flag, both
+  homed locally; processor 1 reads the flag then the data.
+  ``flag seen ∧ data stale`` is impossible under TSO (one FIFO buffer
+  drains data before flag) but reachable under PSO (per-location
+  queues drain independently).
+* **LB** (load buffering) — each processor reads the other's element
+  *then* writes its own.  ``R = [1, 1]`` requires a load to see a
+  write that program-order-follows the other load: impossible under
+  SC, TSO *and* PSO, since store buffers never make writes visible
+  early, only late.
+
+Each shape is a :class:`GeneratedProgram`, so the campaign's oracles,
+delta-debugging minimizer and repro bundles apply to it unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.progen import DeclSpec, GeneratedProgram, Phase
+
+_HEADER = "  int t;"
+
+
+def _racy_program(name: str, decls, phases, procs: int) -> GeneratedProgram:
+    return GeneratedProgram(
+        seed=0,
+        profile=name,
+        procs=procs,
+        decls=tuple(decls),
+        phases=tuple(phases),
+        header=_HEADER,
+        deterministic=False,
+        straight_line=True,
+    )
+
+
+def sb_program(procs: int = 2) -> GeneratedProgram:
+    """Store buffering: ``R = [0, 0]`` is the non-SC outcome."""
+    if procs < 2:
+        raise ValueError("SB needs at least 2 processors")
+    decls = [DeclSpec("X", "int_array"), DeclSpec("R", "int_array")]
+    phases = [
+        Phase(
+            "sb",
+            f"  if (MYPROC == {p}) {{\n"
+            f"    X[{p}] = 1;\n"
+            f"    t = X[{1 - p}];\n"
+            f"    R[{p}] = t;\n"
+            f"  }}",
+            min_procs=2,
+        )
+        for p in range(2)
+    ]
+    return _racy_program("weak_memory", decls, phases, procs)
+
+
+def mp_program(procs: int = 2) -> GeneratedProgram:
+    """Message passing: flag seen but data stale is the PSO outcome."""
+    if procs < 2:
+        raise ValueError("MP needs at least 2 processors")
+    decls = [
+        DeclSpec("D", "int_array"),
+        DeclSpec("F", "int_array"),
+        DeclSpec("R", "int_array"),
+    ]
+    phases = [
+        Phase(
+            "mp_writer",
+            "  if (MYPROC == 0) {\n"
+            "    D[0] = 7;\n"
+            "    F[0] = 1;\n"
+            "  }",
+            min_procs=1,
+        ),
+        Phase(
+            "mp_reader",
+            "  if (MYPROC == 1) {\n"
+            "    t = F[0];\n"
+            "    R[0] = t;\n"
+            "    t = D[0];\n"
+            "    R[1] = t;\n"
+            "  }",
+            min_procs=2,
+        ),
+    ]
+    return _racy_program("weak_memory", decls, phases, procs)
+
+
+def lb_program(procs: int = 2) -> GeneratedProgram:
+    """Load buffering: ``R = [1, 1]`` stays impossible — store
+    buffers delay visibility, they never provide it early."""
+    if procs < 2:
+        raise ValueError("LB needs at least 2 processors")
+    decls = [
+        DeclSpec("A", "int_array"),
+        DeclSpec("B", "int_array"),
+        DeclSpec("R", "int_array"),
+    ]
+    phases = [
+        Phase(
+            "lb",
+            "  if (MYPROC == 0) {\n"
+            "    t = A[1];\n"
+            "    B[0] = 1;\n"
+            "    R[0] = t;\n"
+            "  }",
+            min_procs=2,
+        ),
+        Phase(
+            "lb",
+            "  if (MYPROC == 1) {\n"
+            "    t = B[0];\n"
+            "    A[1] = 1;\n"
+            "    R[1] = t;\n"
+            "  }",
+            min_procs=2,
+        ),
+    ]
+    return _racy_program("weak_memory", decls, phases, procs)

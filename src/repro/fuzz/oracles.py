@@ -37,16 +37,20 @@ SC_VIOLATION = "violation"
 class OracleFailure:
     """One differential-testing failure, ready for bundling."""
 
-    #: "snapshot" | "sc" | "monotonicity" | "crash"
+    #: "snapshot" | "sc" | "monotonicity" | "crash" | "weak_canary"
     oracle: str
     detail: str
     level: Optional[str] = None
     schedule: Optional[dict] = None
     trace_digest: Optional[str] = None
+    #: True when the failing run executed the delay-stripped twin (the
+    #: weak-memory robustness canary) rather than the real compile.
+    stripped: bool = False
 
     def summary(self) -> str:
         where = f" at {self.level}" if self.level else ""
-        return f"[{self.oracle}{where}] {self.detail}"
+        twin = " (delay-stripped twin)" if self.stripped else ""
+        return f"[{self.oracle}{where}{twin}] {self.detail}"
 
 
 def trace_digest(trace: ExecutionTrace) -> str:

@@ -385,6 +385,11 @@ class Profile:
     #: adds fault-plan schedules and the snapshot oracle then asserts
     #: fault-free and lossy runs agree (reliability-protocol fuzzing).
     faulty: bool = False
+    #: Run the program under TSO/PSO store-buffer schedules too: the
+    #: campaign adds weak-memory schedules and the snapshot oracle then
+    #: asserts SC and relaxed runs agree — the robustness oracle (the
+    #: compiled delays make relaxed executions sequentially consistent).
+    weak: bool = False
 
     def generate(self, seed: int, procs: int,
                  num_phases: int) -> GeneratedProgram:
@@ -458,6 +463,14 @@ PROFILES: Dict[str, Profile] = {
         deterministic=True, straight_line=False,
         mix=_B.PHASES,
         faulty=True,
+    ),
+    "weak_memory": Profile(
+        "weak_memory",
+        "the mixed phase set replayed under TSO/PSO store buffers: the "
+        "robustness oracle asserts SC and relaxed snapshots agree",
+        deterministic=True, straight_line=False,
+        mix=_B.PHASES,
+        weak=True,
     ),
 }
 

@@ -22,8 +22,8 @@ names, and :mod:`repro.pipeline.session` for the driver.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional
 
 from repro.analysis.delays import AnalysisResult
 from repro.ir.cfg import Module
@@ -65,6 +65,19 @@ class CompiledProgram:
     opt_level: OptLevel
     analysis: Optional[AnalysisResult] = None
     report: CodegenReport = field(default_factory=CodegenReport)
+    #: Instruction uids the weak-memory backends fence on — the targets
+    #: of the analysis's delay edges.  Metadata only: the IR itself is
+    #: identical with or without them, and an SC run ignores them.
+    delay_fences: FrozenSet[int] = frozenset()
+
+    def without_delay_fences(self) -> "CompiledProgram":
+        """A delay-stripped twin: same IR, no weak-memory fences.
+
+        The debug/fuzz variant the robustness oracle runs under TSO/PSO
+        to demonstrate that the delays were load-bearing — a racy
+        program compiled this way may exhibit genuine non-SC outcomes.
+        """
+        return replace(self, delay_fences=frozenset())
 
     def run(self, num_procs: int, machine=None, seed: int = 0,
             trace: bool = False, max_cycles: int = 500_000_000,
@@ -87,6 +100,7 @@ class CompiledProgram:
             trace=trace,
             max_cycles=max_cycles,
             fault_plan=fault_plan,
+            delay_fences=self.delay_fences,
         )
 
     def pretty(self) -> str:

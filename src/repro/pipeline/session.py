@@ -158,6 +158,7 @@ class CompilationSession:
         self,
         opt_level: LevelLike = OptLevel.O3,
         in_place: bool = False,
+        strip_delays: bool = False,
     ) -> CompiledProgram:
         """Runs ``opt_level``'s pipeline; returns the compiled program.
 
@@ -168,6 +169,12 @@ class CompilationSession:
         and the mutating passes then invalidate the session's
         pristine-IR artifacts (a later compile re-derives them from
         the source, or fails with a clear diagnostic if it can't).
+
+        ``strip_delays=True`` produces the delay-stripped debug twin:
+        identical IR, but without the weak-memory fence metadata that
+        makes the program robust under TSO/PSO.  SC behaviour is
+        unaffected — this knob exists for the robustness oracle and
+        for demonstrating that the analysis's delays are load-bearing.
         """
         from repro.perf import profiler as perf
 
@@ -199,6 +206,9 @@ class CompilationSession:
             opt_level=level,
             analysis=analysis,
             report=ctx.report,
+            delay_fences=(
+                frozenset() if strip_delays else analysis.fence_uids()
+            ),
         )
 
     def compile_levels(

@@ -29,7 +29,12 @@ DASH       110           26
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
+
+#: Memory models the simulator can execute.  ``sc`` is the historical
+#: sequentially consistent machine; ``tso``/``pso`` interpose seeded
+#: per-processor store buffers (see :mod:`repro.runtime.memory`).
+MEMORY_MODELS: Tuple[str, ...] = ("sc", "tso", "pso")
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,18 @@ class MachineConfig:
     #: Maximum random extra wire delay (adversarial reordering); the
     #: simulator draws uniformly from [0, jitter] per message.
     jitter: int = 0
+    #: Which memory model the simulated hardware executes: "sc"
+    #: (default — every write is globally performed when it completes),
+    #: "tso" (per-processor FIFO store buffers with read forwarding) or
+    #: "pso" (per-location FIFOs: same-location write order preserved,
+    #: cross-location writes may drain out of order).
+    memory_model: str = "sc"
+    #: Seed for the store-buffer drain schedule (combined with the
+    #: run's network seed; same pair = identical drain timing).
+    drain_seed: int = 0
+    #: (min, max) cycles a buffered write may linger before draining;
+    #: None derives an adversarial window from the remote latency.
+    drain_window: Optional[Tuple[int, int]] = None
 
     @property
     def remote_read_cycles(self) -> int:
@@ -72,6 +89,33 @@ class MachineConfig:
 
     def with_jitter(self, jitter: int) -> "MachineConfig":
         return replace(self, jitter=jitter)
+
+    def with_memory_model(
+        self,
+        model: str,
+        drain_seed: int = 0,
+        drain_window: Optional[Tuple[int, int]] = None,
+    ) -> "MachineConfig":
+        """The same machine executing a different memory model."""
+        model = validate_memory_model(model)
+        return replace(
+            self, memory_model=model, drain_seed=drain_seed,
+            drain_window=drain_window,
+        )
+
+    @property
+    def effective_drain_window(self) -> Tuple[int, int]:
+        """The drain window actually used by the store buffers.
+
+        The default upper bound — four blocking round trips — is
+        adversarial on purpose: a remote read routinely arrives at the
+        owner while the owner's own recent writes still sit buffered,
+        so genuinely racy programs show their TSO/PSO reorderings
+        within a handful of drain seeds.
+        """
+        if self.drain_window is not None:
+            return self.drain_window
+        return (0, 4 * self.remote_read_cycles)
 
     def retransmit_timeout(self, attempt: int, max_spike: int = 0) -> int:
         """Retransmission timeout for the ``attempt``-th transmission.
@@ -139,3 +183,14 @@ def get_machine(name: str) -> MachineConfig:
     except KeyError:
         known = ", ".join(sorted(MACHINES))
         raise KeyError(f"unknown machine {name!r} (known: {known})") from None
+
+
+def validate_memory_model(name: str) -> str:
+    """Normalizes a memory-model name, raising ``KeyError`` if unknown."""
+    model = name.lower()
+    if model not in MEMORY_MODELS:
+        known = ", ".join(MEMORY_MODELS)
+        raise KeyError(
+            f"unknown memory model {name!r} (known: {known})"
+        ) from None
+    return model

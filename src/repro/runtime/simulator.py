@@ -79,8 +79,8 @@ from repro.ir.instructions import (
     Temp,
     UnOpKind,
 )
-from repro.runtime.machine import MachineConfig
-from repro.runtime.memory import GlobalMemory, flat_index
+from repro.runtime.machine import MachineConfig, validate_memory_model
+from repro.runtime.memory import GlobalMemory, StoreBuffers, flat_index
 from repro.runtime.network import FaultPlan, Message, MsgKind, Network
 from repro.runtime.sync_objects import BarrierState, FlagTable, LockTable
 from repro.runtime.trace import ExecutionTrace, MemEvent
@@ -96,6 +96,25 @@ class _Pending:
 
 
 PENDING = _Pending()
+
+#: Synchronization opcodes that act as full fences under the weak
+#: memory models: the executing processor's store buffer drains
+#: (applies globally, in issue order) before the operation proceeds.
+#: ``sync_ctr`` is deliberately absent — waiting for one's own
+#: outstanding split-phase *reads* does not publish buffered writes on
+#: TSO hardware.  Where a sync_ctr enforces a compiler-placed delay
+#: edge, the edge target's uid is in ``Simulator.delay_fences`` and
+#: drains there instead.
+_FENCE_OPCODES = frozenset(
+    {
+        Opcode.STORE_SYNC,
+        Opcode.POST,
+        Opcode.WAIT,
+        Opcode.LOCK,
+        Opcode.UNLOCK,
+        Opcode.BARRIER,
+    }
+)
 
 
 class ProcState(enum.Enum):
@@ -135,6 +154,8 @@ class SimulationResult:
     memory: GlobalMemory
     network: Network
     trace: Optional[ExecutionTrace] = None
+    #: store-buffer counters when the machine ran a weak model
+    weak_stats: Optional[Dict[str, int]] = None
 
     def snapshot(self) -> Dict[str, List[Value]]:
         return self.memory.snapshot()
@@ -275,6 +296,14 @@ class Processor:
         machine = sim.machine
         op = instr.op
 
+        # Weak models: synchronization and compiler-placed delay
+        # targets fence the store buffer.  Blocking ops may re-execute
+        # on wake; re-flushing an empty buffer is a no-op.
+        if sim.weak is not None and (
+            op in _FENCE_OPCODES or instr.uid in sim.delay_fences
+        ):
+            sim.weak.flush(self.pid)
+
         if op is Opcode.CONST:
             self.set_reg(instr.dest, instr.value)
             self.clock += machine.cpu_op
@@ -413,6 +442,14 @@ class Processor:
             )
         if owner == self.pid:
             value = sim.memory.read(instr.var, indices)
+            if sim.weak is not None:
+                hit = sim.weak.forward(
+                    self.pid, *sim.location_of(instr.var, indices)
+                )
+                if hit is not None:
+                    value = hit.value
+                    if event is not None:
+                        event.forwarded = True
             self.set_reg(instr.dest, value)
             if event is not None:
                 event.value = value
@@ -448,7 +485,10 @@ class Processor:
                 uid=instr.uid,
             )
         if owner == self.pid:
-            sim.memory.write(instr.var, indices, value)
+            if sim.weak is None:
+                sim.memory.write(instr.var, indices, value)
+            else:
+                self._buffer_write(instr.var, indices, value)
             self.clock += sim.machine.local_access
             self.frames[-1].index += 1
             return True
@@ -469,6 +509,14 @@ class Processor:
         self._block(("reply", tag), instr)
         return False
 
+    def _buffer_write(self, var: str, indices: Tuple[int, ...],
+                      value: Value) -> None:
+        """Parks a locally-owned write in this proc's store buffer."""
+        sim = self.sim
+        name, flat = sim.location_of(var, indices)
+        entry_id, delay = sim.weak.enqueue(self.pid, name, flat, value)
+        sim.schedule_drain(self.pid, entry_id, self.clock + delay)
+
     def _issue_get(self, instr: Instr) -> None:
         sim = self.sim
         indices = self.indices_of(instr)
@@ -484,6 +532,14 @@ class Processor:
             local_flat = self._local_flat_fused(instr)
         if owner == self.pid:
             value = sim.memory.read(instr.var, indices)
+            if sim.weak is not None:
+                hit = sim.weak.forward(
+                    self.pid, *sim.location_of(instr.var, indices)
+                )
+                if hit is not None:
+                    value = hit.value
+                    if event is not None:
+                        event.forwarded = True
             if local_flat is not None:
                 self.frames[-1].arrays[instr.local_array][local_flat] = value
             else:
@@ -539,7 +595,10 @@ class Processor:
                 uid=instr.uid,
             )
         if owner == self.pid:
-            sim.memory.write(instr.var, indices, value)
+            if sim.weak is None:
+                sim.memory.write(instr.var, indices, value)
+            else:
+                self._buffer_write(instr.var, indices, value)
             self.clock += sim.machine.local_access
             return
         self.clock += sim.machine.send_overhead
@@ -568,7 +627,10 @@ class Processor:
                 uid=instr.uid,
             )
         if owner == self.pid:
-            sim.memory.write(instr.var, indices, value)
+            if sim.weak is None:
+                sim.memory.write(instr.var, indices, value)
+            else:
+                self._buffer_write(instr.var, indices, value)
             self.clock += sim.machine.local_access
             return
         self.clock += sim.machine.send_overhead
@@ -785,6 +847,7 @@ class Simulator:
         entry: str = "main",
         max_cycles: int = 500_000_000,
         fault_plan: Optional[FaultPlan] = None,
+        delay_fences: Optional[frozenset] = None,
     ):
         self.module = module
         self.num_procs = num_procs
@@ -793,6 +856,19 @@ class Simulator:
         self.max_cycles = max_cycles
         self.memory = GlobalMemory(module, num_procs)
         self.fault_plan = fault_plan
+        #: instruction uids that must drain the store buffer before
+        #: executing (targets of compiler-placed delay edges)
+        self.delay_fences: frozenset = delay_fences or frozenset()
+        model = validate_memory_model(machine.memory_model)
+        self.weak: Optional[StoreBuffers] = None
+        if model != "sc":
+            self.weak = StoreBuffers(
+                model,
+                num_procs,
+                seed=(seed << 8) ^ machine.drain_seed,
+                window=machine.effective_drain_window,
+                memory=self.memory,
+            )
         self.network = Network(
             machine.wire_latency, machine.jitter, seed=seed,
             plan=fault_plan,
@@ -932,6 +1008,10 @@ class Simulator:
         if self.fault_plan is not None:
             time = self.fault_plan.stalled_until(pid, time)
         self._push(time, ("resume", pid))
+
+    def schedule_drain(self, pid: int, entry_id: int, time: int) -> None:
+        """Queues a background store-buffer drain (weak models only)."""
+        self._push(time, ("drain", pid, entry_id))
 
     def _push(self, time: int, payload: Tuple) -> None:
         heapq.heappush(self._events, (time, next(self._seq), payload))
@@ -1277,6 +1357,8 @@ class Simulator:
             elif tag == "xack":
                 self.network.delivered()
                 self._handle_xack(payload[1])
+            elif tag == "drain":
+                self.weak.drain(payload[1], payload[2])
             else:  # "retx"
                 self._handle_retx(time, *payload[1])
         if self._done_count != self.num_procs:
@@ -1290,6 +1372,10 @@ class Simulator:
                 + ("; ".join(blocked) if blocked else "no blocked procs?"),
                 report=self.deadlock_report(),
             )
+        if self.weak is not None:
+            # Normally every buffered write's drain event has already
+            # fired; a final flush keeps snapshots total regardless.
+            self.weak.flush_all()
         return SimulationResult(
             cycles=max(p.clock for p in self.procs),
             per_proc_cycles=[p.clock for p in self.procs],
@@ -1298,6 +1384,9 @@ class Simulator:
             memory=self.memory,
             network=self.network,
             trace=self.trace,
+            weak_stats=(
+                self.weak.stats.as_dict() if self.weak is not None else None
+            ),
         )
 
 
@@ -1309,10 +1398,12 @@ def run_module(
     trace: bool = False,
     max_cycles: int = 500_000_000,
     fault_plan: Optional[FaultPlan] = None,
+    delay_fences: Optional[frozenset] = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``module`` to completion."""
     sim = Simulator(
         module, num_procs, machine, seed=seed, trace=trace,
         max_cycles=max_cycles, fault_plan=fault_plan,
+        delay_fences=delay_fences,
     )
     return sim.run()

@@ -31,6 +31,9 @@ class MemEvent:
     #: sorting a processor's events by uid recovers *source* program
     #: order even after initiation-reordering transformations.
     uid: int = 0
+    #: True when a weak-memory read was satisfied from the issuing
+    #: processor's own store buffer (store-to-load forwarding).
+    forwarded: bool = False
 
     def __str__(self) -> str:
         name, flat = self.location

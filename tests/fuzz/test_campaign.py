@@ -167,8 +167,9 @@ class TestCli:
         ])
         assert status == 0
         printed = json.loads(capsys.readouterr().out)
-        assert len(printed["profiles"]) == 6
-        assert printed["totals"]["programs"] == 6  # 1 per profile
+        assert len(printed["profiles"]) == 7
+        assert printed["totals"]["programs"] == 7  # 1 per profile
+        assert printed["totals"]["weak_runs"] > 0
 
     @pytest.mark.parametrize("flag", ["--iterations", "--schedules"])
     def test_flags_accepted(self, tmp_path, capsys, flag):
@@ -234,6 +235,82 @@ class TestFaultyProfile:
         assert plan is not None and plan.seed == 3
         assert Schedule(net_seed=7, machine="cm5",
                         jitter=100).fault_plan() is None
+
+
+class TestWeakProfile:
+    def test_weak_twins_mirror_each_schedule(self):
+        import random
+
+        from repro.fuzz.campaign import _make_schedules
+
+        config = FuzzConfig(
+            profile="weak_memory", schedules_per_program=2
+        )
+        schedules = _make_schedules(random.Random(0), config)
+        assert len(schedules) == 6
+        models = [s.memory_model for s in schedules]
+        assert models.count("sc") == 2
+        assert models.count("tso") == 2
+        assert models.count("pso") == 2
+        base = {s.net_seed for s in schedules if s.memory_model == "sc"}
+        for schedule in schedules:
+            assert schedule.net_seed in base  # twins share the network
+        data = [s for s in schedules if s.memory_model != "sc"][0]
+        assert "memory_model" in data.as_dict()
+        assert data.machine_config().memory_model == data.memory_model
+
+    def test_robustness_oracle_and_canary(self, tmp_path):
+        stats = run_campaign(
+            config_for(tmp_path, profile="weak_memory", iterations=2)
+        )
+        # SC/TSO/PSO snapshots of every generated program agreed...
+        assert stats.failure_count == 0
+        assert stats.weak_runs > 0
+        # ...and the SB canary proved the oracle has teeth: the build
+        # with compiled delays is robust, the delay-stripped twin's
+        # non-SC outcome is caught, minimized and bundled.
+        canary = stats.weak_canary
+        assert canary["delayed_robust"] is True
+        assert canary["caught_stripped"] is True
+        assert os.path.isdir(canary["bundle"])
+        manifest = read_bundle(canary["bundle"])
+        assert manifest["oracle"] == "sc"
+        assert manifest["stripped"] is True
+        assert manifest["campaign"]["expected_divergence"] is True
+        assert "--memory-model tso" in manifest["repro_hint"]
+        assert "--strip-delays" in manifest["repro_hint"]
+        assert stats.sc.violations > 0  # the canary's caught divergence
+
+    def test_weak_campaign_is_seed_reproducible(self, tmp_path):
+        first = run_campaign(
+            config_for(tmp_path, profile="weak_memory", iterations=1)
+        )
+        second = run_campaign(
+            config_for(tmp_path, profile="weak_memory", iterations=1)
+        )
+        first_dict, second_dict = first.as_dict(), second.as_dict()
+        first_dict.pop("elapsed_seconds")
+        second_dict.pop("elapsed_seconds")
+        assert first_dict == second_dict
+
+    def test_toothless_stripping_is_a_failure(self, tmp_path,
+                                              monkeypatch):
+        # Seeded bug: stripping quietly keeps the delay fences, so the
+        # "stripped" twin never diverges — the canary must fail the
+        # campaign instead of reporting a clean pass.
+        from repro.pipeline.program import CompiledProgram
+
+        monkeypatch.setattr(
+            CompiledProgram, "without_delay_fences",
+            lambda self: self,
+        )
+        stats = run_campaign(config_for(
+            tmp_path, profile="weak_memory", minimize=False,
+        ))
+        assert stats.failure_count > 0
+        assert stats.failures[0]["oracle"] == "weak_canary"
+        assert stats.weak_canary["caught_stripped"] is False
+        assert stats.weak_canary["delayed_robust"] is True
 
 
 class TestVerifyEachPass:

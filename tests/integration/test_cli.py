@@ -62,6 +62,45 @@ class TestRun:
         ) == 0
         assert "t3d" in capsys.readouterr().out
 
+    def test_unknown_machine_with_faults_is_one_diagnostic(
+        self, program_file, capsys
+    ):
+        # The bad machine must surface as one exit-2 line even when a
+        # fault plan is on the command line, not as a traceback.
+        assert main(
+            ["run", program_file, "--machine", "nope",
+             "--faults", "drop=0.5"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("\n") == 1
+        assert "repro: error: unknown machine 'nope'" in captured.err
+        assert "cm5" in captured.err
+
+    def test_unknown_memory_model_rejected(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--memory-model", "weird"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("\n") == 1
+        assert "unknown memory model 'weird'" in captured.err
+        assert "tso" in captured.err
+
+    def test_weak_run_reports_buffer_stats(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--procs", "2",
+             "--memory-model", "tso", "--drain-seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "memory model: tso (drain seed 5" in out
+        assert "buffered:" in out
+
+    def test_strip_delays_marked(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--procs", "2",
+             "--memory-model", "pso", "--strip-delays"]
+        ) == 0
+        assert "delays stripped" in capsys.readouterr().out
+
 
 class TestBenchApp:
     def test_health_quick(self, capsys):
