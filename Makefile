@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf perf-scale perf-gate fuzz fuzz-faults fuzz-weak examples smoke all
+.PHONY: test bench perf perf-scale perf-gate serve-bench serve-gate fuzz fuzz-faults fuzz-weak examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -22,6 +22,20 @@ perf-scale:
 perf-gate: perf-scale
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline BENCH_analysis.json --fresh BENCH_scale.json
+
+# Daemon load bench: ≥1000 pipelined requests against `repro serve`,
+# asserting a ≥90% store hit rate.  `serve-bench` refreshes the
+# committed baseline; `serve-gate` measures to a fresh file and
+# compares (CI; threshold is loose because the phases are wall-clock
+# over a multiprocess compile pool).
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py
+
+serve-gate:
+	REPRO_SERVE_OUTPUT=BENCH_serve_fresh.json $(PYTHON) benchmarks/bench_serve.py
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_serve.json --fresh BENCH_serve_fresh.json \
+		--threshold 3.0
 
 fuzz:
 	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile all

@@ -1,0 +1,234 @@
+"""Compile-service load bench: writes ``BENCH_serve.json``.
+
+Boots a ``repro serve`` daemon on a background thread, primes the
+content-addressed store with every workload kernel, then drives a
+pipelined repeated-kernel load — many connections, every connection
+writing its whole request burst before reading a single response, so
+the daemon holds the full request count in flight at once — and
+records the latency distribution, throughput and store hit rate::
+
+    python benchmarks/bench_serve.py             (or ``make serve-bench``)
+
+The workload is the litmus trio (SB/MP/LB) plus every application
+kernel at O0/O1/O3.  After the prime phase every request is a repeat,
+so the measured phase is the daemon's steady state: the acceptance bar
+is a ≥90% store hit rate, checked here and again by the CI perf gate
+via ``check_regression.py`` (the ``serve/*`` entries).
+
+Environment overrides (used by the CI ``serve-gate`` target):
+
+* ``REPRO_SERVE_REQUESTS`` — measured-phase request count (default
+  1000; the bench refuses to shrink below the number of distinct
+  kernels).
+* ``REPRO_SERVE_CONNECTIONS`` — concurrent connections (default 50).
+* ``REPRO_SERVE_OUTPUT`` — output path; defaults to
+  ``BENCH_serve.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.apps import ALL_APPS
+from repro.fuzz.litmus import lb_program, mp_program, sb_program
+from repro.serve import ServeConfig, ServerThread
+from repro.serve import protocol
+
+LEVELS = ("O0", "O1", "O3")
+
+_DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+
+def workload_jobs() -> List[Tuple[str, str, str]]:
+    """(name, source, opt) for every kernel the bench serves."""
+    sources = [
+        ("sb", sb_program(2).source),
+        ("mp", mp_program(2).source),
+        ("lb", lb_program(2).source),
+    ]
+    sources += [(app.name, app.source(4)) for app in ALL_APPS]
+    return [
+        (f"{name}/{opt}", source, opt)
+        for name, source in sources
+        for opt in LEVELS
+    ]
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _drive_connection(
+    socket_path: str,
+    requests: List[Tuple[str, str]],
+    latencies: List[float],
+) -> None:
+    """One connection: write the whole burst, then read every response.
+
+    Writing everything before reading anything is what keeps the full
+    request count in flight daemon-side (per-line tasks), instead of
+    measuring a sequential request/response ping-pong.
+    """
+    reader, writer = await asyncio.open_unix_connection(
+        socket_path, limit=protocol.MAX_LINE_BYTES
+    )
+    sent: Dict[int, float] = {}
+    try:
+        for index, (source, opt) in enumerate(requests):
+            sent[index] = time.monotonic()
+            writer.write(protocol.encode(
+                {"id": index, "op": "compile", "source": source, "opt": opt}
+            ))
+        await writer.drain()
+        for _ in requests:
+            line = await reader.readline()
+            response = json.loads(line)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"serve error: {response.get('error')}"
+                )
+            latencies.append(
+                time.monotonic() - sent[response["id"]]
+            )
+    finally:
+        writer.close()
+
+
+async def _run_load(
+    socket_path: str,
+    jobs: List[Tuple[str, str, str]],
+    total_requests: int,
+    connections: int,
+) -> Tuple[float, List[float]]:
+    """Spreads ``total_requests`` repeats over ``connections``."""
+    plans: List[List[Tuple[str, str]]] = [[] for _ in range(connections)]
+    for index in range(total_requests):
+        _name, source, opt = jobs[index % len(jobs)]
+        plans[index % connections].append((source, opt))
+    latencies: List[float] = []
+    started = time.monotonic()
+    await asyncio.gather(*(
+        _drive_connection(socket_path, plan, latencies)
+        for plan in plans if plan
+    ))
+    return time.monotonic() - started, latencies
+
+
+def run_bench() -> dict:
+    jobs = workload_jobs()
+    total_requests = max(
+        int(os.environ.get("REPRO_SERVE_REQUESTS", "1000")), len(jobs)
+    )
+    connections = max(
+        1, int(os.environ.get("REPRO_SERVE_CONNECTIONS", "50"))
+    )
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        thread = ServerThread(ServeConfig(
+            socket_path=os.path.join(tmp, "bench.sock"),
+            cache_dir=os.path.join(tmp, "store"),
+            batch_window=0.005,
+            jobs=None,  # auto-size the compile pool for the cold prime
+        ))
+        thread.start()
+        try:
+            socket_path = thread.config.socket_path
+            # Phase 1 — cold prime: every distinct kernel compiles once
+            # (batched onto the pool by the daemon).
+            prime_seconds, _ = asyncio.run(_run_load(
+                socket_path, jobs, len(jobs),
+                min(connections, len(jobs)),
+            ))
+
+            cache = thread.server.cache
+            hits_before = cache.hits
+            counters_before = dict(thread.server.profiler.counters)
+
+            # Phase 2 — measured repeated-kernel load.
+            load_seconds, latencies = asyncio.run(_run_load(
+                socket_path, jobs, total_requests, connections
+            ))
+
+            hits = cache.hits - hits_before
+            counters = thread.server.profiler.counters
+            dedup_hits = (
+                counters.get("serve.dedup_hits", 0)
+                - counters_before.get("serve.dedup_hits", 0)
+            )
+            hit_rate = (hits + dedup_hits) / total_requests
+            stats = thread.server._stats()
+        finally:
+            thread.stop()
+
+    assert len(latencies) == total_requests, (
+        f"lost responses: {len(latencies)}/{total_requests}"
+    )
+    assert hit_rate >= 0.9, (
+        f"repeated-kernel hit rate {hit_rate:.2%} below the 90% bar"
+    )
+    return {
+        "schema": 1,
+        "workload": {
+            "kernels": len(jobs),
+            "levels": list(LEVELS),
+            "connections": connections,
+        },
+        "serve": {
+            "cold_prime": {
+                "seconds": prime_seconds,
+                "requests": len(jobs),
+            },
+            "repeated_load": {
+                "seconds": load_seconds,
+                "requests": total_requests,
+                "p50_seconds": percentile(latencies, 0.50),
+                "p99_seconds": percentile(latencies, 0.99),
+                "throughput_rps": total_requests / load_seconds,
+                "hit_rate": hit_rate,
+                "dedup_hits": dedup_hits,
+            },
+        },
+        "daemon": {
+            "batches": stats["batches"],
+            "batched_requests": stats["batched_requests"],
+            "cache_entries": stats["cache"]["entries"],
+            "cache_bytes": stats["cache"]["bytes"],
+        },
+    }
+
+
+def main() -> int:
+    payload = run_bench()
+    output = os.environ.get("REPRO_SERVE_OUTPUT", _DEFAULT_OUTPUT)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    load = payload["serve"]["repeated_load"]
+    print(f"serve bench -> {output}")
+    print(f"  kernels            {payload['workload']['kernels']}")
+    print(f"  cold prime         "
+          f"{payload['serve']['cold_prime']['seconds']:.2f}s")
+    print(f"  measured requests  {load['requests']} "
+          f"over {payload['workload']['connections']} connections")
+    print(f"  wall               {load['seconds']:.2f}s "
+          f"({load['throughput_rps']:.0f} req/s)")
+    print(f"  latency p50/p99    {load['p50_seconds'] * 1e3:.2f}ms / "
+          f"{load['p99_seconds'] * 1e3:.2f}ms")
+    print(f"  store hit rate     {load['hit_rate']:.2%} "
+          f"(+{load['dedup_hits']} dedup)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

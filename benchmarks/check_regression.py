@@ -1,7 +1,7 @@
-"""Perf-regression gate over ``BENCH_analysis.json``.
+"""Perf-regression gate over ``BENCH_analysis.json`` / ``BENCH_serve.json``.
 
-Compares a freshly measured analysis-performance JSON against the
-committed baseline and fails (exit 1) when
+Compares a freshly measured performance JSON against the committed
+baseline of the same shape and fails (exit 1) when
 
 * any tracked kernel — a synthetic scaling size, a sync-placement
   analyze+place run, or an application's shared O0–O4 sweep — got more
@@ -65,6 +65,9 @@ def tracked_kernels(payload: dict) -> Iterator[Tuple[str, float]]:
         yield f"apps/{app}", float(entry["seconds"])
     for model, entry in sorted(payload.get("simulation", {}).items()):
         yield f"simulation/{model}", float(entry["seconds"])
+    # BENCH_serve.json: wall seconds per phase of the daemon load bench.
+    for phase, entry in sorted(payload.get("serve", {}).items()):
+        yield f"serve/{phase}", float(entry["seconds"])
 
 
 def pass_shares(payload: dict) -> Dict[str, float]:

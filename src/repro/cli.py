@@ -13,13 +13,19 @@
     repro fuzz [--iterations N | --budget-seconds S] [--seed 0]
                [--profile mixed|sync_heavy|lock_heavy|...|all]
                [--verify-passes]
+    repro serve --socket /tmp/repro.sock [--cache-dir DIR] [--jobs N]
+    repro client ping|stats|shutdown --socket /tmp/repro.sock
+    repro client compile|analyze|simulate prog.ms --socket ...
 
-``repro`` is also usable as ``python -m repro``.
+``repro`` is also usable as ``python -m repro``.  The full
+subcommand/flag reference lives in docs/CLI.md (enforced against this
+module by ``tests/serve/test_docs_sync.py``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -339,6 +345,84 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ServeConfig, serve
+
+    if args.cache_dir:
+        # Pool workers resolve the store from the environment; keep
+        # them pointed at the same root the daemon serves from.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    config = ServeConfig(
+        socket_path=args.socket,
+        cache_dir=args.cache_dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        batch_window=args.batch_window,
+        jobs=args.jobs,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        asyncio.run(serve(config))
+    except OSError as exc:
+        return _runtime_error_exit(exc, args.verbose)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    needs_source = args.op in ("compile", "analyze", "simulate")
+    if needs_source and not args.source:
+        print(
+            f"repro: error: client {args.op} requires a source file",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with ServeClient(args.socket, timeout=args.timeout) as client:
+            if args.op == "compile":
+                result = client.compile(
+                    _read_source(args.source), opt=args.opt
+                )
+            elif args.op == "analyze":
+                result = client.analyze(
+                    _read_source(args.source), level=args.level
+                )
+            elif args.op == "simulate":
+                result = client.simulate(
+                    _read_source(args.source),
+                    opt=args.opt,
+                    procs=args.procs,
+                    machine=args.machine,
+                    seed=args.seed,
+                    memory_model=args.memory_model,
+                    drain_seed=args.drain_seed,
+                )
+            else:
+                result = client.request(args.op)
+    except ServeError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if args.artifact_out and "artifact" in result:
+        import base64
+
+        with open(args.artifact_out, "wb") as handle:
+            handle.write(base64.b64decode(result["artifact"]))
+    if "artifact" in result:
+        # The pickled blob is for --artifact-out, not terminals.
+        result = dict(result)
+        result["artifact"] = (
+            f"<{result.pop('artifact_bytes')} bytes; "
+            "use --artifact-out to save>"
+        )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -530,6 +614,98 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress progress lines on stderr")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the compile-as-a-service daemon on a unix socket",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path to listen on",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-store root (default $REPRO_CACHE_DIR or "
+             "~/.cache/repro-compile)",
+    )
+    serve.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="LRU budget: evict down to N store entries after a put",
+    )
+    serve.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="LRU budget: evict down to N total store bytes after a put",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="S",
+        help="seconds to coalesce cache misses into one pool batch "
+             "(0 disables batching; default 0.002)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="compile-pool width for a batch (0/1 = in-process; "
+             "default auto)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="print full tracebacks on startup failure",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="send one request to a running repro serve daemon",
+    )
+    client.add_argument(
+        "op",
+        choices=["ping", "stats", "shutdown", "compile", "analyze",
+                 "simulate"],
+        help="the protocol operation to perform",
+    )
+    client.add_argument(
+        "source", nargs="?", default=None,
+        help="MiniSplit source file (compile/analyze/simulate)",
+    )
+    client.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket the daemon listens on",
+    )
+    client.add_argument(
+        "--opt", choices=[lvl.value for lvl in OptLevel], default="O3"
+    )
+    client.add_argument(
+        "--level", choices=["sas", "sync"], default="sync",
+        help="analysis level (analyze op)",
+    )
+    client.add_argument("--procs", type=int, default=8)
+    client.add_argument(
+        "--machine", default="cm5", metavar="NAME",
+        help=f"machine model ({', '.join(sorted(MACHINES))})",
+    )
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument(
+        "--memory-model", default="sc", metavar="MODEL",
+        help="memory model for the simulate op "
+             f"({', '.join(MEMORY_MODELS)}; default sc)",
+    )
+    client.add_argument(
+        "--drain-seed", type=int, default=0,
+        help="store-buffer drain-schedule seed (weak models)",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=120.0, metavar="S",
+        help="seconds to wait for the daemon's response",
+    )
+    client.add_argument(
+        "--artifact-out", default=None, metavar="PATH",
+        help="with the compile op: write the pickled CompiledProgram "
+             "blob to PATH",
+    )
+    client.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -9,13 +9,18 @@ Two independent pieces, composable:
   be created (restricted sandboxes) or for tiny batches.
 
 * The on-disk cache persists pickled :class:`CompiledProgram` objects
-  under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``).
-  Keys combine a SHA-256 of the source text, the optimization level,
+  in the content-addressed :class:`repro.serve.store.ArtifactCache`
+  under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-compile``),
+  sharded by key prefix with optional LRU eviction
+  (``REPRO_CACHE_MAX_ENTRIES`` / ``REPRO_CACHE_MAX_BYTES``).  Keys
+  combine a SHA-256 of the source text, the optimization level,
   ``repro.__version__`` and a fingerprint of the installed ``repro``
   package files (path, mtime, size), so editing either the program or
-  the compiler invalidates stale entries automatically.  Delete the
-  cache directory to force a cold run; set ``REPRO_COMPILE_CACHE=0``
-  to disable the cache entirely.
+  the compiler invalidates stale entries automatically.  The same
+  entries back the ``repro serve`` daemon — a kernel compiled by a
+  pool worker is a cache hit for every later serve request, and vice
+  versa.  Delete the cache directory to force a cold run; set
+  ``REPRO_COMPILE_CACHE=0`` to disable the cache entirely.
 
 Crash tolerance: the pool treats workers as expendable.  A worker that
 dies (OOM kill, segfaulting interpreter, ``os._exit``) surfaces as
@@ -31,16 +36,20 @@ degradation is recorded on the active profiler (counters
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pickle
-import tempfile
 from typing import List, Optional, Sequence, Tuple, Union
 
-LevelLike = Union[str, "object"]  # OptLevel or its string value
+from repro.serve.store import code_fingerprint, default_cache
 
-#: Bump to invalidate every existing cache entry on format changes.
-_CACHE_SCHEMA = 1
+__all__ = [
+    "cache_enabled", "cache_dir", "code_fingerprint", "cache_key",
+    "load_cached", "store_cached", "compile_with_cache",
+    "compile_levels", "compile_many", "job_timeout",
+]
+
+
+LevelLike = Union[str, "object"]  # OptLevel or its string value
 
 
 def cache_enabled() -> bool:
@@ -48,43 +57,7 @@ def cache_enabled() -> bool:
 
 
 def cache_dir() -> str:
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        return override
-    return os.path.join(
-        os.path.expanduser("~"), ".cache", "repro-compile"
-    )
-
-
-_fingerprint: Optional[str] = None
-
-
-def code_fingerprint() -> str:
-    """A cheap digest of the installed ``repro`` sources.
-
-    Hashes every module's (relative path, mtime, size) so in-place
-    edits to the compiler invalidate the cache without a version bump.
-    """
-    global _fingerprint
-    if _fingerprint is not None:
-        return _fingerprint
-    import repro
-
-    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
-    digest = hashlib.sha256()
-    for root, dirs, files in sorted(os.walk(package_dir)):
-        dirs.sort()
-        for name in sorted(files):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(root, name)
-            stat = os.stat(path)
-            rel = os.path.relpath(path, package_dir)
-            digest.update(
-                f"{rel}:{stat.st_mtime_ns}:{stat.st_size};".encode()
-            )
-    _fingerprint = digest.hexdigest()
-    return _fingerprint
+    return default_cache().root
 
 
 def _level_value(level: LevelLike) -> str:
@@ -92,52 +65,25 @@ def _level_value(level: LevelLike) -> str:
 
 
 def cache_key(source: str, level: LevelLike) -> str:
-    import repro
-
-    digest = hashlib.sha256()
-    digest.update(f"schema={_CACHE_SCHEMA};".encode())
-    digest.update(f"version={repro.__version__};".encode())
-    digest.update(f"code={code_fingerprint()};".encode())
-    digest.update(f"level={_level_value(level)};".encode())
-    digest.update(source.encode())
-    return digest.hexdigest()
-
-
-def _cache_path(key: str) -> str:
-    return os.path.join(cache_dir(), f"{key}.pkl")
+    """The content address of a compile — shared with ``repro serve``."""
+    return default_cache().key(
+        "compile", source=source, level=_level_value(level)
+    )
 
 
 def load_cached(source: str, level: LevelLike):
     """The cached CompiledProgram for (source, level), or None."""
     if not cache_enabled():
         return None
-    path = _cache_path(cache_key(source, level))
-    try:
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-        return None
+    return default_cache().get(cache_key(source, level))
 
 
 def store_cached(source: str, level: LevelLike, program) -> None:
     if not cache_enabled():
         return
-    directory = cache_dir()
-    try:
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(program, handle)
-            os.replace(tmp_path, _cache_path(cache_key(source, level)))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        pass  # read-only or full filesystem: caching is best-effort
+    default_cache().put_bytes(
+        cache_key(source, level), pickle.dumps(program)
+    )
 
 
 def compile_with_cache(source: str, level: LevelLike, use_cache: bool = True):
@@ -332,6 +278,12 @@ def compile_many(
                 pending.append(job)
 
     if pending:
+        from repro.perf import profiler
+
+        # One count per job actually compiled (pool or in-process) —
+        # the counter the serve dedup tests assert "exactly one
+        # underlying compile" against.
+        profiler.count("compile.pool.jobs", len(pending))
         if processes > 1 and len(pending) > 1:
             results.update(_run_pool(pending, processes, job_fn))
         else:

@@ -1,0 +1,50 @@
+"""Compile-as-a-service: the ``repro serve`` daemon and its substrate.
+
+* :mod:`repro.serve.store` — the content-addressed, sharded, LRU
+  artifact store every compile entry point shares
+  (:class:`ArtifactCache`);
+* :mod:`repro.serve.protocol` — the newline-delimited JSON wire
+  protocol (spec: docs/SERVING.md);
+* :mod:`repro.serve.daemon` — the asyncio unix-socket daemon with
+  in-flight request deduplication and pool batching;
+* :mod:`repro.serve.client` — the blocking Python client.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import (
+    ServeConfig,
+    Server,
+    ServerThread,
+    serve,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.serve.store import (
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+    default_cache,
+    set_default_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "ERROR_CODES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "Server",
+    "ServerThread",
+    "artifact_key",
+    "code_fingerprint",
+    "default_cache",
+    "serve",
+    "set_default_cache",
+]

@@ -1,0 +1,157 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+A thin blocking wrapper over the newline-delimited JSON protocol::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("/tmp/repro.sock") as client:
+        client.ping()
+        result = client.compile(SOURCE, opt="O3")
+        program, meta = client.compiled_program(SOURCE, opt="O3")
+        print(client.stats()["cache"]["hit_rate"])
+
+Every request/response pair travels over one long-lived connection;
+``request`` raises :class:`ServeError` (carrying the wire error code)
+when the daemon answers with an error.  The async load generator in
+``benchmarks/bench_serve.py`` speaks the protocol directly instead —
+this class optimizes for clarity, not throughput.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve import protocol
+
+
+class ServeError(ReproError):
+    """An error response from the daemon (or a transport failure)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        self.message = message
+        super().__init__(f"[{code}] {message}")
+
+
+class ServeClient:
+    def __init__(
+        self, socket_path: str, timeout: float = 120.0
+    ) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                "internal",
+                f"cannot connect to {self.socket_path!r}: {exc}",
+            ) from exc
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the protocol ------------------------------------------------------
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Sends one request, returns its ``result`` dict.
+
+        Raises :class:`ServeError` with the daemon's error code on an
+        error response, and with code ``internal`` on transport
+        failures (connection refused, daemon gone mid-request).
+        """
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        line = protocol.encode(
+            {"id": request_id, "op": op, **params}
+        )
+        try:
+            self._file.write(line)
+            self._file.flush()
+            raw = self._file.readline()
+        except OSError as exc:
+            raise ServeError(
+                "internal", f"transport failure: {exc}"
+            ) from exc
+        if not raw:
+            raise ServeError(
+                "internal", "daemon closed the connection"
+            )
+        response = protocol.validate_response(json.loads(raw.decode()))
+        if response.get("id") != request_id:
+            raise ServeError(
+                "internal",
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}",
+            )
+        if not response["ok"]:
+            error = response["error"]
+            raise ServeError(error["code"], error["message"])
+        return response["result"]
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def compile(self, source: str, opt: str = "O3") -> Dict[str, Any]:
+        return self.request("compile", source=source, opt=opt)
+
+    def analyze(
+        self, source: str, level: str = "sync"
+    ) -> Dict[str, Any]:
+        return self.request("analyze", source=source, level=level)
+
+    def simulate(self, source: str, **params: Any) -> Dict[str, Any]:
+        return self.request("simulate", source=source, **params)
+
+    def compiled_program(
+        self, source: str, opt: str = "O3"
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """(CompiledProgram, result meta) — unpickles the artifact."""
+        result = self.compile(source, opt=opt)
+        blob = base64.b64decode(result["artifact"])
+        return pickle.loads(blob), result

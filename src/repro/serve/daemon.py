@@ -1,0 +1,657 @@
+"""The ``repro serve`` daemon: compile-as-a-service over a unix socket.
+
+An asyncio server accepting :mod:`repro.serve.protocol` requests
+(newline-delimited JSON) and serving compile / analyze / simulate
+results out of the content-addressed :class:`~repro.serve.store
+.ArtifactCache`, with three layers of work sharing:
+
+1. **Cross-process cache** — the request's content address is probed
+   first; a hit answers without compiling anything, including entries
+   written by earlier daemon runs, pool workers, or plain CLI runs.
+2. **In-flight deduplication** — concurrent requests for the same key
+   await one future; N clients compiling the same kernel trigger
+   exactly one underlying compile (``serve.dedup_hits`` counts the
+   coalesced ones).
+3. **Batching onto the compile pool** — cache misses are collected for
+   ``batch_window`` seconds and dispatched as one batch to
+   :func:`repro.perf.parallel.compile_many`, which fans distinct jobs
+   across the existing crash-tolerant worker pool (``jobs`` pool
+   width; 0/1 compiles in the dispatcher thread).
+
+Responses are written per-request as they complete, so clients may
+pipeline many requests over one connection.  Graceful shutdown (the
+``shutdown`` op, or SIGINT/SIGTERM via :func:`serve`) stops accepting,
+drains in-flight work for up to ``drain_timeout`` seconds, and removes
+the socket.  The wire protocol and operational notes are documented in
+docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import hashlib
+import os
+import pickle
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.perf.profiler import Profiler, profiled
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+from repro.serve.store import (
+    ArtifactCache,
+    default_cache,
+    set_default_cache,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Daemon configuration (mirrors the ``repro serve`` flags)."""
+
+    socket_path: str
+    cache_dir: Optional[str] = None
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    #: Seconds a dispatch waits to coalesce further cache misses into
+    #: one pool batch.  0 disables batching (dispatch immediately).
+    batch_window: float = 0.002
+    #: Compile-pool width for a batch (None = auto, 0/1 = in-process).
+    jobs: Optional[int] = 0
+    drain_timeout: float = 10.0
+    #: None = honor ``REPRO_COMPILE_CACHE``; False = memory-only serving
+    #: (in-flight dedup still applies, nothing touches disk).
+    use_cache: Optional[bool] = None
+
+
+class Server:
+    """One daemon instance bound to a unix socket."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache or ArtifactCache(
+            root=config.cache_dir,
+            max_entries=config.max_entries,
+            max_bytes=config.max_bytes,
+        )
+        if config.use_cache is not None:
+            self.cache_enabled = config.use_cache
+        else:
+            self.cache_enabled = (
+                os.environ.get("REPRO_COMPILE_CACHE", "1") != "0"
+            )
+        self.profiler = Profiler()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._closing = False
+        self._done: Optional[asyncio.Event] = None
+        self._started = time.monotonic()
+        self._prev_default: Optional[ArtifactCache] = None
+        self._prof_cm = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._queue = asyncio.Queue()
+        self._done = asyncio.Event()
+        # In-process compiles (pool fallbacks, jobs=0) must hit this
+        # store, not an environment-derived one.
+        self._prev_default = set_default_cache(self.cache)
+        # Everything on the loop thread (cache probes, bookkeeping)
+        # counts against the daemon's own profiler.
+        self._prof_cm = profiled(self.profiler)
+        self._prof_cm.__enter__()
+        self._remove_stale_socket()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client,
+            path=self.config.socket_path,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def _remove_stale_socket(self) -> None:
+        """Unlinks a leftover socket file from a crashed daemon.
+
+        A *live* daemon on the path is detected by connecting; in that
+        case startup fails instead of stealing the socket.
+        """
+        path = self.config.socket_path
+        if not os.path.exists(path):
+            return
+        import socket as socket_module
+
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        try:
+            probe.settimeout(0.25)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # stale: the previous daemon died
+        else:
+            raise OSError(
+                f"socket {path!r} already has a live daemon; "
+                "shut it down first or pick another --socket"
+            )
+        finally:
+            probe.close()
+
+    def begin_shutdown(self) -> None:
+        """Starts the graceful drain (idempotent, loop thread only)."""
+        if self._closing:
+            return
+        self._closing = True
+        asyncio.get_running_loop().create_task(self._shutdown())
+
+    async def _shutdown(self) -> None:
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            pending = [
+                future for future in self._inflight.values()
+                if not future.done()
+            ]
+            if pending:
+                await asyncio.wait(
+                    pending, timeout=self.config.drain_timeout
+                )
+            if self._dispatcher is not None:
+                self._dispatcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._dispatcher
+            for task in list(self._conn_tasks):
+                task.cancel()
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+        finally:
+            set_default_cache(self._prev_default)
+            if self._prof_cm is not None:
+                self._prof_cm.__exit__(None, None, None)
+                self._prof_cm = None
+            self._done.set()
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        line_tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError,
+                        ValueError):
+                    break
+                if not line:
+                    break
+                # Each line is served concurrently so one slow compile
+                # does not head-of-line block a pipelined connection.
+                line_task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                line_tasks.add(line_task)
+                line_task.add_done_callback(line_tasks.discard)
+            if line_tasks:
+                await asyncio.gather(*line_tasks, return_exceptions=True)
+        finally:
+            for line_task in line_tasks:
+                line_task.cancel()
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._conn_tasks.discard(task)
+
+    async def _handle_line(self, line, writer, write_lock) -> None:
+        request_id: Any = None
+        try:
+            obj = protocol.decode_line(line)
+            request_id = obj.get("id")
+            request = protocol.validate_request(obj)
+            response = await self._respond(request)
+        except ProtocolError as exc:
+            response = protocol.error_response(
+                request_id, exc.code, exc.message
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            response = protocol.error_response(
+                request_id, "internal", str(exc).splitlines()[0]
+            )
+        async with write_lock:
+            try:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; nothing to tell it
+
+    async def _respond(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        self._count(f"serve.requests.{op}")
+        if op == "ping":
+            return protocol.ok_response(request["id"], {
+                "pong": True,
+                "version": protocol.PROTOCOL_VERSION,
+                "pid": os.getpid(),
+            })
+        if op == "stats":
+            return protocol.ok_response(request["id"], self._stats())
+        if op == "shutdown":
+            response = protocol.ok_response(
+                request["id"], {"draining": True}
+            )
+            # Respond first, then drain: the caller gets its ack.
+            asyncio.get_running_loop().call_soon(self.begin_shutdown)
+            return response
+        if self._closing:
+            raise ProtocolError(
+                "shutting_down", "daemon is draining; not accepting work"
+            )
+        payload = await self._serve_artifact(request)
+        return protocol.ok_response(request["id"], payload)
+
+    # -- artifact serving --------------------------------------------------
+
+    def _key_for(self, request: Dict[str, Any]) -> str:
+        op = request["op"]
+        if op == "compile":
+            # Must match perf.parallel's derivation so daemon, pool
+            # workers, and plain CLI runs share one set of entries.
+            return self.cache.key(
+                "compile", source=request["source"], level=request["opt"]
+            )
+        if op == "analyze":
+            return self.cache.key(
+                "analyze", source=request["source"],
+                level=request["level"],
+            )
+        return self.cache.key(
+            "simulate",
+            source=request["source"],
+            level=request["opt"],
+            procs=request["procs"],
+            machine=request["machine"],
+            seed=request["seed"],
+            memory_model=request["memory_model"],
+            drain_seed=request["drain_seed"],
+        )
+
+    async def _serve_artifact(
+        self, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        key = self._key_for(request)
+        if self.cache_enabled:
+            blob = self.cache.get_bytes(key)
+            if blob is not None:
+                payload = _payload_from_blob(request["op"], blob)
+                if payload is not None:
+                    payload["cached"] = True
+                    payload["cache_key"] = key
+                    return payload
+        future = self._inflight.get(key)
+        if future is not None:
+            self._count("serve.dedup_hits")
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            await self._queue.put((key, request))
+        # shield: one client disconnecting must not cancel the shared
+        # compile future out from under the other waiters.
+        payload = dict(await asyncio.shield(future))
+        payload["cached"] = False
+        payload["cache_key"] = key
+        return payload
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch: List[Tuple[str, Dict[str, Any]]] = [first]
+            if self.config.batch_window > 0:
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + self.config.batch_window
+                while True:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        ))
+                    except asyncio.TimeoutError:
+                        break
+            self._count("serve.batches")
+            self._count("serve.batched_requests", len(batch))
+            results = await asyncio.to_thread(self._run_batch, batch)
+            for key, outcome in results.items():
+                future = self._inflight.pop(key, None)
+                if future is None or future.done():
+                    continue
+                status, value = outcome
+                if status == "ok":
+                    future.set_result(value)
+                else:
+                    code, message = value
+                    future.set_exception(ProtocolError(code, message))
+
+    # -- the batch worker (runs in a thread off the event loop) ------------
+
+    def _run_batch(
+        self, batch: List[Tuple[str, Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        with profiled(self.profiler):
+            compile_items = [
+                (key, request) for key, request in batch
+                if request["op"] == "compile"
+            ]
+            if compile_items:
+                results.update(self._run_compiles(compile_items))
+            for key, request in batch:
+                if request["op"] == "analyze":
+                    results[key] = self._guard(
+                        key, self._run_analyze, request
+                    )
+                elif request["op"] == "simulate":
+                    results[key] = self._guard(
+                        key, self._run_simulate, request
+                    )
+        return results
+
+    def _guard(self, key: str, fn, request) -> Tuple[str, Any]:
+        try:
+            payload = fn(request)
+        except Exception as exc:  # noqa: BLE001 - mapped to wire codes
+            code = protocol.error_code_for(exc) or "internal"
+            return "error", (code, str(exc).splitlines()[0])
+        if self.cache_enabled:
+            self.cache.put_bytes(key, pickle.dumps(payload))
+        return "ok", payload
+
+    def _run_compiles(
+        self, items: List[Tuple[str, Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        """Compiles a batch through the pool, isolating per-job errors.
+
+        The happy path fans every job out with one
+        :func:`~repro.perf.parallel.compile_many` call (the pool's
+        crash tolerance included); if *any* job raises a compile error
+        the batch re-runs serially so each request gets its own
+        verdict instead of the whole batch failing.
+        """
+        from repro import OptLevel, compile_source
+        from repro.perf.parallel import compile_many
+
+        results: Dict[str, Any] = {}
+        jobs = [
+            (request["source"], request["opt"]) for _key, request in items
+        ]
+        programs: Optional[List[Any]] = None
+        if len(set(jobs)) > 1 and (
+            self.config.jobs is None or self.config.jobs > 1
+        ):
+            try:
+                programs = compile_many(
+                    jobs, processes=self.config.jobs, use_cache=False
+                )
+            except Exception:  # noqa: BLE001 - re-run serially below
+                programs = None
+        if programs is not None:
+            for (key, _request), program in zip(items, programs):
+                results[key] = self._finish_compile(key, program)
+            return results
+        from repro.perf import profiler as perf
+
+        compiled: Dict[Tuple[str, str], Any] = {}
+        for key, request in items:
+            job = (request["source"], request["opt"])
+            try:
+                if job not in compiled:
+                    perf.count("compile.pool.jobs")
+                    compiled[job] = compile_source(
+                        request["source"], OptLevel(request["opt"])
+                    )
+            except Exception as exc:  # noqa: BLE001 - per-job verdict
+                code = protocol.error_code_for(exc) or "internal"
+                results[key] = (
+                    "error", (code, str(exc).splitlines()[0])
+                )
+                continue
+            results[key] = self._finish_compile(key, compiled[job])
+        return results
+
+    def _finish_compile(self, key: str, program) -> Tuple[str, Any]:
+        blob = pickle.dumps(program)
+        if self.cache_enabled:
+            self.cache.put_bytes(key, blob)
+        return "ok", _compile_payload(program, blob)
+
+    def _run_analyze(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from repro import analyze_source
+        from repro.analysis.delays import AnalysisLevel
+
+        level = (
+            AnalysisLevel.SAS if request["level"] == "sas"
+            else AnalysisLevel.SYNC
+        )
+        result = analyze_source(request["source"], level)
+        return {
+            "level": request["level"],
+            "stats": asdict(result.stats),
+            "delay_edges": [
+                [str(earlier), str(later)]
+                for earlier, later in result.delay_edges()
+            ],
+        }
+
+    def _run_simulate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from repro import OptLevel
+        from repro.runtime.machine import (
+            get_machine,
+            validate_memory_model,
+        )
+
+        machine = get_machine(request["machine"])
+        model = validate_memory_model(request["memory_model"])
+        if model != "sc":
+            machine = machine.with_memory_model(
+                model, request["drain_seed"]
+            )
+        program = self._compiled(
+            request["source"], OptLevel(request["opt"])
+        )
+        result = program.run(
+            request["procs"], machine, seed=request["seed"]
+        )
+        snapshot = {
+            name: list(values)
+            for name, values in sorted(result.snapshot().items())
+        }
+        return {
+            "opt": request["opt"],
+            "procs": request["procs"],
+            "machine": request["machine"],
+            "memory_model": model,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "messages": result.total_messages,
+            "snapshot": snapshot,
+        }
+
+    def _compiled(self, source: str, level):
+        """A compiled program via the store (simulate's compile step)."""
+        from repro import compile_source
+        from repro.perf import profiler as perf
+
+        key = self.cache.key("compile", source=source, level=level.value)
+        if self.cache_enabled:
+            program = self.cache.get(key)
+            if program is not None:
+                perf.count("compile.disk_cache_hits")
+                return program
+        perf.count("compile.pool.jobs")
+        program = compile_source(source, level)
+        if self.cache_enabled:
+            self.cache.put_bytes(key, pickle.dumps(program))
+        return program
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.profiler.count(name, amount)
+
+    def _stats(self) -> Dict[str, Any]:
+        counters = dict(self.profiler.counters)
+        requests = {
+            name[len("serve.requests."):]: value
+            for name, value in counters.items()
+            if name.startswith("serve.requests.")
+        }
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self._started,
+            "draining": self._closing,
+            "requests": requests,
+            "inflight": len(self._inflight),
+            "dedup_hits": counters.get("serve.dedup_hits", 0),
+            "batches": counters.get("serve.batches", 0),
+            "batched_requests": counters.get("serve.batched_requests", 0),
+            "cache": self.cache.stats(),
+            "counters": counters,
+        }
+
+
+# -- payload shaping --------------------------------------------------------
+
+
+def _compile_payload(program, blob: bytes) -> Dict[str, Any]:
+    return {
+        "opt": program.opt_level.value,
+        "report": asdict(program.report),
+        "delay_fences": len(program.delay_fences),
+        "artifact": base64.b64encode(blob).decode("ascii"),
+        "artifact_sha256": hashlib.sha256(blob).hexdigest(),
+        "artifact_bytes": len(blob),
+    }
+
+
+def _payload_from_blob(op: str, blob: bytes) -> Optional[Dict[str, Any]]:
+    """Rebuilds a response payload from a cached blob (None = corrupt).
+
+    Compile entries store the pickled ``CompiledProgram`` itself — the
+    exact bytes ``compile_with_cache`` and the pool workers write — so
+    the served artifact is byte-identical to the stored one.  Analyze
+    and simulate entries store their (JSON-able) payload dict pickled.
+    """
+    try:
+        value = pickle.loads(blob)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+    if op == "compile":
+        return _compile_payload(value, blob)
+    return dict(value) if isinstance(value, dict) else None
+
+
+# -- entry points -----------------------------------------------------------
+
+
+async def serve(config: ServeConfig) -> None:
+    """Runs a daemon until graceful shutdown (signal or shutdown op)."""
+    import signal
+
+    server = Server(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, server.begin_shutdown)
+    await server.wait_done()
+
+
+class ServerThread:
+    """A daemon on a background thread (tests, benches, embedding).
+
+    ``start()`` blocks until the socket is accepting; ``stop()`` drains
+    gracefully; ``kill()`` stops the event loop abruptly — the
+    simulated daemon crash (no drain, no socket cleanup) the restart
+    tests recover from.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
+        self.config = config
+        self._cache = cache
+        self.server: Optional[Server] = None
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("repro serve thread failed to start")
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def _run(self) -> None:
+        previous = default_cache()
+        try:
+            asyncio.run(self._main())
+        except RuntimeError:
+            # loop.stop() via kill(): asyncio.run aborts mid-future.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self.error = exc
+        finally:
+            set_default_cache(previous)
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = Server(self.config, cache=self._cache)
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.wait_done()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.server.begin_shutdown)
+        self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        # A real crash closes the listening fd with the process; here
+        # the process survives, so close it by hand.  The socket *file*
+        # is deliberately left behind for stale-socket recovery tests.
+        if self.server is not None and self.server._server is not None:
+            for sock in self.server._server.sockets:
+                with contextlib.suppress(OSError, ValueError):
+                    os.close(sock.fileno())

@@ -49,8 +49,12 @@ class TestHealthyPool:
             )
         assert results == expected()
         assert not prof.events
+        # Healthy pools record the jobs-compiled counter and nothing
+        # else — no degradation counters.
+        assert prof.counters.get("compile.pool.jobs") == len(JOBS)
         assert not any(
             name.startswith("compile.pool.") for name in prof.counters
+            if name != "compile.pool.jobs"
         )
 
     def test_serial_path_for_single_job(self):

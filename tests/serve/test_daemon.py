@@ -1,0 +1,404 @@
+"""End-to-end daemon tests: serving, dedup, caching, crash recovery."""
+
+import base64
+import json
+import pickle
+import socket
+import threading
+from dataclasses import asdict
+
+import pytest
+
+from repro import OptLevel, compile_source
+from repro.apps import get_app
+from repro.fuzz.litmus import lb_program, mp_program, sb_program
+from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+
+SB = sb_program(2).source
+MP = mp_program(2).source
+LB = lb_program(2).source
+APP = get_app("em3d").source(4)
+
+BAD_SOURCE = "int x = ; this does not parse"
+
+
+@pytest.fixture
+def socket_path(tmp_path):
+    return str(tmp_path / "repro.sock")
+
+
+@pytest.fixture
+def server(socket_path, isolated_cache_dir):
+    thread = ServerThread(ServeConfig(
+        socket_path=socket_path,
+        cache_dir=isolated_cache_dir,
+        batch_window=0.0,
+    ))
+    thread.start()
+    try:
+        yield thread
+    finally:
+        thread.stop()
+
+
+class TestBasics:
+    def test_ping(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            result = client.ping()
+        assert result["pong"] is True
+        assert result["version"] == 1
+        assert isinstance(result["pid"], int)
+
+    def test_stats_shape(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            client.ping()
+            stats = client.stats()
+        assert stats["draining"] is False
+        assert stats["requests"]["ping"] == 1
+        assert stats["cache"]["root"] == server.server.cache.root
+        assert "hit_rate" in stats["cache"]
+
+    def test_live_socket_is_not_stolen(self, server, socket_path):
+        second = ServerThread(
+            ServeConfig(socket_path=socket_path)
+        )
+        with pytest.raises(OSError, match="live daemon"):
+            second.start()
+
+    def test_pipelined_requests_on_one_connection(
+        self, server, socket_path
+    ):
+        """Many requests down the pipe before reading any response."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(60)
+        sock.connect(socket_path)
+        handle = sock.makefile("rwb")
+        for index in range(5):
+            handle.write(
+                json.dumps({"id": index, "op": "ping"}).encode() + b"\n"
+            )
+        handle.flush()
+        seen = set()
+        for _ in range(5):
+            response = json.loads(handle.readline())
+            assert response["ok"] is True
+            seen.add(response["id"])
+        assert seen == {0, 1, 2, 3, 4}
+        sock.close()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("opt", ["O0", "O1", "O3", "O4"])
+    @pytest.mark.parametrize(
+        "source",
+        [pytest.param(SB, id="sb"), pytest.param(APP, id="em3d")],
+    )
+    def test_served_equals_cold_compile(
+        self, server, socket_path, opt, source
+    ):
+        """A served artifact is the program a cold compile produces."""
+        with ServeClient(socket_path) as client:
+            program, result = client.compiled_program(source, opt=opt)
+        cold = compile_source(source, OptLevel(opt))
+        # Instruction uids come from a per-process counter, so raw
+        # delay_fences sets shift between compiles; the printed form,
+        # fence count and codegen report are the stable identity.
+        assert program.pretty() == cold.pretty()
+        assert len(program.delay_fences) == len(cold.delay_fences)
+        assert asdict(program.report) == asdict(cold.report)
+        assert result["opt"] == opt
+        assert result["delay_fences"] == len(cold.delay_fences)
+        assert result["artifact_bytes"] > 0
+
+    def test_second_request_is_a_cache_hit_with_identical_bytes(
+        self, server, socket_path
+    ):
+        with ServeClient(socket_path) as client:
+            first = client.compile(MP, opt="O3")
+            second = client.compile(MP, opt="O3")
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["artifact"] == first["artifact"]
+        assert second["artifact_sha256"] == first["artifact_sha256"]
+        assert second["cache_key"] == first["cache_key"]
+
+    def test_daemon_entries_serve_in_process_compiles(
+        self, server, socket_path
+    ):
+        """The store is shared: a daemon compile is a CLI cache hit."""
+        from repro.perf import Profiler, profiled
+        from repro.perf.parallel import compile_with_cache
+
+        with ServeClient(socket_path) as client:
+            served = client.compile(LB, opt="O1")
+        with profiled(Profiler()) as prof:
+            program = compile_with_cache(LB, "O1")
+        assert prof.counters.get("compile.disk_cache_hits") == 1
+        artifact = pickle.loads(base64.b64decode(served["artifact"]))
+        assert program.pretty() == artifact.pretty()
+        assert program.delay_fences == artifact.delay_fences
+
+
+class TestOps:
+    def test_analyze(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            result = client.analyze(SB, level="sync")
+        assert result["level"] == "sync"
+        assert result["stats"]["num_accesses"] > 0
+        assert isinstance(result["delay_edges"], list)
+
+    def test_simulate(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            result = client.simulate(SB, opt="O3", procs=2, seed=1)
+        assert result["cycles"] > 0
+        assert result["procs"] == 2
+        assert result["machine"] == "cm5"
+        assert result["memory_model"] == "sc"
+        assert "R" in result["snapshot"]
+
+    def test_simulate_is_cached_and_deterministic(
+        self, server, socket_path
+    ):
+        with ServeClient(socket_path) as client:
+            first = client.simulate(MP, procs=2, seed=7)
+            second = client.simulate(MP, procs=2, seed=7)
+        assert second["cached"] is True
+        assert second["cycles"] == first["cycles"]
+        assert second["snapshot"] == first["snapshot"]
+
+    def test_simulate_under_weak_memory(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            result = client.simulate(
+                SB, opt="O0", procs=2, memory_model="tso"
+            )
+        assert result["memory_model"] == "tso"
+
+
+class TestErrors:
+    def test_compile_error_code(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.compile(BAD_SOURCE)
+        assert excinfo.value.code == "compile_error"
+
+    def test_unknown_machine_is_bad_request(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.simulate(SB, machine="cray")
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_opt_is_bad_request(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.compile(SB, opt="O9")
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_op_is_bad_request(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.request("transmogrify")
+        assert excinfo.value.code == "bad_request"
+
+    def test_invalid_json_is_parse_error(self, server, socket_path):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30)
+        sock.connect(socket_path)
+        handle = sock.makefile("rwb")
+        handle.write(b"{this is not json\n")
+        handle.flush()
+        response = json.loads(handle.readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "parse_error"
+        sock.close()
+
+    def test_errors_do_not_poison_the_connection(
+        self, server, socket_path
+    ):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeError):
+                client.compile(BAD_SOURCE)
+            assert client.ping()["pong"] is True
+
+    def test_bad_source_in_batch_does_not_fail_neighbors(
+        self, socket_path, isolated_cache_dir
+    ):
+        """A wide batch window coalesces a good and a bad compile into
+        one batch; the bad one must get its own verdict."""
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.25,
+        ))
+        thread.start()
+        try:
+            outcomes = {}
+
+            def run(name, source):
+                with ServeClient(socket_path) as client:
+                    try:
+                        outcomes[name] = client.compile(source, opt="O0")
+                    except ServeError as exc:
+                        outcomes[name] = exc
+
+            threads = [
+                threading.Thread(target=run, args=("good", SB)),
+                threading.Thread(target=run, args=("bad", BAD_SOURCE)),
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=120)
+            assert isinstance(outcomes["bad"], ServeError)
+            assert outcomes["bad"].code == "compile_error"
+            assert outcomes["good"]["opt"] == "O0"
+        finally:
+            thread.stop()
+
+
+class TestDedup:
+    def test_concurrent_identical_requests_compile_once(
+        self, socket_path, isolated_cache_dir
+    ):
+        """N concurrent identical compiles -> exactly one compile."""
+        clients = 8
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.3,
+            jobs=0,
+        ))
+        thread.start()
+        try:
+            barrier = threading.Barrier(clients)
+            results = [None] * clients
+
+            def run(index):
+                with ServeClient(socket_path) as client:
+                    barrier.wait(timeout=30)
+                    results[index] = client.compile(APP, opt="O3")
+
+            workers = [
+                threading.Thread(target=run, args=(index,))
+                for index in range(clients)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=180)
+            assert all(result is not None for result in results)
+            digests = {result["artifact_sha256"] for result in results}
+            assert len(digests) == 1
+
+            counters = thread.server.profiler.counters
+            # The load-bearing assertion: one underlying compile.
+            assert counters.get("compile.pool.jobs", 0) == 1
+            assert counters.get("pipeline.compiles", 0) == 1
+            # Every other request either joined the in-flight future
+            # (dedup) or arrived after the blob landed (cache hit).
+            cache_hits = sum(
+                1 for result in results if result["cached"]
+            )
+            assert (
+                counters.get("serve.dedup_hits", 0) + cache_hits
+                == clients - 1
+            )
+        finally:
+            thread.stop()
+
+
+class TestCrashRecovery:
+    def test_restart_reuses_on_disk_store_and_stale_socket(
+        self, socket_path, isolated_cache_dir
+    ):
+        config = ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+        )
+        first = ServerThread(config)
+        first.start()
+        try:
+            with ServeClient(socket_path) as client:
+                cold = client.compile(SB, opt="O3")
+            assert cold["cached"] is False
+        finally:
+            first.kill()  # simulated crash: no drain, socket left behind
+        assert not first._thread.is_alive()
+
+        import os
+
+        assert os.path.exists(socket_path), "crash leaves a stale socket"
+        second = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+        ))
+        second.start()  # must reclaim the stale socket
+        try:
+            with ServeClient(socket_path) as client:
+                warm = client.compile(SB, opt="O3")
+            assert warm["cached"] is True
+            assert warm["artifact_sha256"] == cold["artifact_sha256"]
+            counters = second.server.profiler.counters
+            assert counters.get("compile.pool.jobs", 0) == 0
+        finally:
+            second.stop()
+
+
+class TestShutdown:
+    def test_graceful_shutdown_removes_socket(
+        self, socket_path, isolated_cache_dir
+    ):
+        import os
+
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+        ))
+        thread.start()
+        with ServeClient(socket_path) as client:
+            assert client.shutdown() == {"draining": True}
+        thread._thread.join(timeout=30)
+        assert not thread._thread.is_alive()
+        assert not os.path.exists(socket_path)
+
+    def test_work_after_shutdown_is_rejected(
+        self, socket_path, isolated_cache_dir
+    ):
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            drain_timeout=5.0,
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                client.shutdown()
+                with pytest.raises(ServeError) as excinfo:
+                    client.compile(SB)
+            # Either the drain answered with shutting_down or the
+            # connection was torn down first; both refuse the work.
+            assert excinfo.value.code in ("shutting_down", "internal")
+        finally:
+            thread.stop()
+
+
+class TestMemoryOnlyMode:
+    def test_use_cache_false_never_touches_disk(
+        self, socket_path, isolated_cache_dir
+    ):
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            use_cache=False,
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                first = client.compile(LB, opt="O0")
+                second = client.compile(LB, opt="O0")
+            assert first["cached"] is False
+            assert second["cached"] is False
+            assert list(thread.server.cache.iter_entries()) == []
+        finally:
+            thread.stop()
