@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench perf perf-scale perf-gate serve-bench serve-gate fuzz fuzz-faults fuzz-weak examples smoke all
+.PHONY: test bench perf perf-scale perf-gate serve-bench serve-gate serve-chaos fuzz fuzz-faults fuzz-weak examples smoke all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -36,6 +36,14 @@ serve-gate:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline BENCH_serve.json --fresh BENCH_serve_fresh.json \
 		--threshold 3.0
+
+# Full chaos oracle: 200 seeded fault schedules against the serve
+# stack, each asserting byte-identity-or-typed-error, no leaked
+# sockets/threads, and convergence to a 100% hit rate after healing.
+# CI runs the smoke variant (fewer schedules under a wall-clock
+# budget); this target is the overnight/local acceptance run.
+serve-chaos:
+	REPRO_CHAOS_SCHEDULES=200 $(PYTHON) -m pytest tests/serve/test_chaos.py -q
 
 fuzz:
 	$(PYTHON) -m repro fuzz --budget-seconds 60 --profile all

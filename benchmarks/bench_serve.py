@@ -15,12 +15,22 @@ so the measured phase is the daemon's steady state: the acceptance bar
 is a ≥90% store hit rate, checked here and again by the CI perf gate
 via ``check_regression.py`` (the ``serve/*`` entries).
 
+A third, **degraded** phase reruns the repeated-kernel load against a
+fresh daemon (same warm store) with ~10% seeded transport faults
+injected (disconnects, truncated/garbled frames, stalled reads) and a
+fault-aware driver that reconnects and retransmits, client-style.  The
+acceptance bar: the degraded phase must sustain at least half the
+clean phase's throughput, checked here; its wall time and p99 ride the
+perf gate like every other ``serve/*`` entry.
+
 Environment overrides (used by the CI ``serve-gate`` target):
 
 * ``REPRO_SERVE_REQUESTS`` — measured-phase request count (default
   1000; the bench refuses to shrink below the number of distinct
   kernels).
 * ``REPRO_SERVE_CONNECTIONS`` — concurrent connections (default 50).
+* ``REPRO_SERVE_DEGRADED_REQUESTS`` — degraded-phase request count
+  (default: the measured count).
 * ``REPRO_SERVE_OUTPUT`` — output path; defaults to
   ``BENCH_serve.json`` at the repo root.
 """
@@ -103,24 +113,179 @@ async def _drive_connection(
         writer.close()
 
 
+async def _drive_connection_resilient(
+    socket_path: str,
+    requests: List[Tuple[str, str]],
+    latencies: List[float],
+) -> None:
+    """The fault-aware twin of :func:`_drive_connection`.
+
+    Mirrors what the retrying :class:`repro.serve.client.ServeClient`
+    does, pipelined: on any transport fault — refused dial, dropped or
+    truncated connection, an undecodable frame — it reconnects and
+    retransmits every still-unanswered request.  A request's latency
+    runs from its *first* transmission, so retries are charged to p99
+    honestly.
+    """
+    pending: Dict[int, Tuple[str, str]] = dict(enumerate(requests))
+    first_sent: Dict[int, float] = {}
+    attempts = 0
+    while pending:
+        attempts += 1
+        if attempts > 200:
+            raise RuntimeError(
+                f"degraded load never converged; "
+                f"{len(pending)} requests still unanswered"
+            )
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                socket_path, limit=protocol.MAX_LINE_BYTES
+            )
+        except OSError:
+            await asyncio.sleep(min(0.1, 0.002 * attempts))
+            continue
+        try:
+            for index, (source, opt) in pending.items():
+                first_sent.setdefault(index, time.monotonic())
+                writer.write(protocol.encode({
+                    "id": index, "op": "compile",
+                    "source": source, "opt": opt,
+                }))
+            await writer.drain()
+            while pending:
+                line = await reader.readline()
+                if not line or not line.endswith(b"\n"):
+                    break  # dropped / truncated: reconnect + resend
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    break  # garbled frame: reconnect + resend
+                if not response.get("ok"):
+                    raise RuntimeError(
+                        f"serve error: {response.get('error')}"
+                    )
+                index = response["id"]
+                if index in pending:
+                    del pending[index]
+                    latencies.append(
+                        time.monotonic() - first_sent[index]
+                    )
+        except (ConnectionError, OSError):
+            pass  # reconnect + resend
+        finally:
+            writer.close()
+
+
 async def _run_load(
     socket_path: str,
     jobs: List[Tuple[str, str, str]],
     total_requests: int,
     connections: int,
+    resilient: bool = False,
 ) -> Tuple[float, List[float]]:
     """Spreads ``total_requests`` repeats over ``connections``."""
     plans: List[List[Tuple[str, str]]] = [[] for _ in range(connections)]
     for index in range(total_requests):
         _name, source, opt = jobs[index % len(jobs)]
         plans[index % connections].append((source, opt))
+    drive = (
+        _drive_connection_resilient if resilient
+        else _drive_connection
+    )
     latencies: List[float] = []
     started = time.monotonic()
     await asyncio.gather(*(
-        _drive_connection(socket_path, plan, latencies)
+        drive(socket_path, plan, latencies)
         for plan in plans if plan
     ))
     return time.monotonic() - started, latencies
+
+
+def _run_degraded(
+    tmp: str,
+    jobs: List[Tuple[str, str, str]],
+    clean_requests: int,
+    connections: int,
+) -> dict:
+    """Degraded phase: warm store, ~10% seeded transport faults.
+
+    Only transport-layer faults are injected (disconnect / truncate /
+    garble / stall) — no crash faults, since the resilient driver
+    reconnects but does not supervise daemon restarts.  The store is
+    already warm from the clean phases, so every request should be a
+    hit; the phase measures how much throughput the fault storm costs.
+    """
+    from repro.serve import ServeFaultPlan
+
+    total_requests = max(
+        int(os.environ.get(
+            "REPRO_SERVE_DEGRADED_REQUESTS", str(clean_requests)
+        )),
+        len(jobs),
+    )
+    # Connection-killing faults compound over a pipelined burst (a
+    # 4% per-response kill rate fails most 20-deep bursts at least
+    # once), so they stay low; the stall fault carries the rest of
+    # the ~10% injection rate since it only costs latency.
+    plan = ServeFaultPlan(
+        disconnect=0.02,
+        truncate=0.01,
+        garble=0.01,
+        stall=0.06,
+        stall_seconds=0.003,
+        seed=1234,
+    )
+    # Chaos-killed sockets make the daemon's loop log a warning per
+    # orphaned write ("socket.send() raised exception."); that noise
+    # is the fault plan working as intended, not a bench failure.
+    import logging
+
+    logging.getLogger("asyncio").setLevel(logging.ERROR)
+    thread = ServerThread(ServeConfig(
+        socket_path=os.path.join(tmp, "bench-degraded.sock"),
+        cache_dir=os.path.join(tmp, "store"),
+        batch_window=0.005,
+        jobs=0,  # warm store: no pool needed, every request is a hit
+        chaos=plan,
+    ))
+    thread.start()
+    try:
+        plan.start_clock()
+        cache = thread.server.cache
+        hits_before = cache.hits
+        counters_before = dict(thread.server.profiler.counters)
+        seconds, latencies = asyncio.run(_run_load(
+            thread.config.socket_path, jobs, total_requests,
+            connections, resilient=True,
+        ))
+        hits = cache.hits - hits_before
+        counters = dict(thread.server.profiler.counters)
+    finally:
+        thread.stop()
+
+    assert len(latencies) == total_requests, (
+        f"degraded phase lost responses: "
+        f"{len(latencies)}/{total_requests}"
+    )
+    faults = {
+        key.replace("serve.chaos.", ""): (
+            counters.get(key, 0) - counters_before.get(key, 0)
+        )
+        for key in counters
+        if key.startswith("serve.chaos.")
+    }
+    return {
+        "seconds": seconds,
+        "requests": total_requests,
+        "p50_seconds": percentile(latencies, 0.50),
+        "p99_seconds": percentile(latencies, 0.99),
+        "throughput_rps": total_requests / seconds,
+        # Retransmitted requests hit the store again, so clamp: the
+        # rate answers "did anything recompile?", not "how many probes".
+        "hit_rate": min(1.0, hits / total_requests),
+        "fault_plan": plan.describe(),
+        "faults": faults,
+    }
 
 
 def run_bench() -> dict:
@@ -170,14 +335,23 @@ def run_bench() -> dict:
         finally:
             thread.stop()
 
+        # Phase 3 — degraded rerun: a fresh daemon on the *same* warm
+        # store, ~10% seeded transport faults, fault-aware driver.
+        degraded = _run_degraded(tmp, jobs, total_requests, connections)
+
     assert len(latencies) == total_requests, (
         f"lost responses: {len(latencies)}/{total_requests}"
     )
     assert hit_rate >= 0.9, (
         f"repeated-kernel hit rate {hit_rate:.2%} below the 90% bar"
     )
+    clean_rps = total_requests / load_seconds
+    assert degraded["throughput_rps"] >= 0.5 * clean_rps, (
+        f"degraded throughput {degraded['throughput_rps']:.0f} req/s "
+        f"below 50% of clean {clean_rps:.0f} req/s"
+    )
     return {
-        "schema": 1,
+        "schema": 2,
         "workload": {
             "kernels": len(jobs),
             "levels": list(LEVELS),
@@ -197,6 +371,7 @@ def run_bench() -> dict:
                 "hit_rate": hit_rate,
                 "dedup_hits": dedup_hits,
             },
+            "degraded": degraded,
         },
         "daemon": {
             "batches": stats["batches"],
@@ -227,6 +402,15 @@ def main() -> int:
           f"{load['p99_seconds'] * 1e3:.2f}ms")
     print(f"  store hit rate     {load['hit_rate']:.2%} "
           f"(+{load['dedup_hits']} dedup)")
+    degraded = payload["serve"]["degraded"]
+    injected = sum(degraded["faults"].values())
+    print(f"  degraded wall      {degraded['seconds']:.2f}s "
+          f"({degraded['throughput_rps']:.0f} req/s, "
+          f"{degraded['throughput_rps'] / load['throughput_rps']:.0%} "
+          f"of clean)")
+    print(f"  degraded p50/p99   {degraded['p50_seconds'] * 1e3:.2f}ms / "
+          f"{degraded['p99_seconds'] * 1e3:.2f}ms "
+          f"({injected} faults injected)")
     return 0
 
 

@@ -65,9 +65,13 @@ def tracked_kernels(payload: dict) -> Iterator[Tuple[str, float]]:
         yield f"apps/{app}", float(entry["seconds"])
     for model, entry in sorted(payload.get("simulation", {}).items()):
         yield f"simulation/{model}", float(entry["seconds"])
-    # BENCH_serve.json: wall seconds per phase of the daemon load bench.
+    # BENCH_serve.json: wall seconds per phase of the daemon load
+    # bench, plus each phase's p99 latency where it records one (the
+    # degraded phase's p99 budget rides this).
     for phase, entry in sorted(payload.get("serve", {}).items()):
         yield f"serve/{phase}", float(entry["seconds"])
+        if "p99_seconds" in entry:
+            yield f"serve/{phase}/p99", float(entry["p99_seconds"])
 
 
 def pass_shares(payload: dict) -> Dict[str, float]:

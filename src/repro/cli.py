@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro import OptLevel, analyze_source, compile_source
 from repro.analysis.delays import AnalysisLevel
@@ -354,6 +354,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Pool workers resolve the store from the environment; keep
         # them pointed at the same root the daemon serves from.
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    chaos = None
+    if args.chaos:
+        from repro.serve.chaos import ServeFaultPlan
+
+        try:
+            chaos = ServeFaultPlan.parse(
+                args.chaos, seed=args.chaos_seed
+            )
+        except ValueError as exc:
+            return _runtime_error_exit(exc, args.verbose)
     config = ServeConfig(
         socket_path=args.socket,
         cache_dir=args.cache_dir,
@@ -362,6 +372,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         jobs=args.jobs,
         drain_timeout=args.drain_timeout,
+        max_pending=args.max_pending,
+        watchdog_timeout=args.watchdog_timeout,
+        chaos=chaos,
     )
     try:
         asyncio.run(serve(config))
@@ -373,7 +386,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_client(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.client import (
+        RetryPolicy,
+        ServeClient,
+        ServeError,
+    )
 
     needs_source = args.op in ("compile", "analyze", "simulate")
     if needs_source and not args.source:
@@ -383,7 +400,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        with ServeClient(args.socket, timeout=args.timeout) as client:
+        with ServeClient(
+            args.socket,
+            timeout=args.timeout,
+            connect_timeout=args.connect_timeout,
+            deadline_ms=args.deadline_ms,
+            retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        ) as client:
             if args.op == "compile":
                 result = client.compile(
                     _read_source(args.source), opt=args.opt
@@ -405,7 +428,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
             else:
                 result = client.request(args.op)
     except ServeError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
+        print(
+            f"repro: error: [{exc.code}] {exc.message}",
+            file=sys.stderr,
+        )
+        hint = _client_retry_hint(exc, args)
+        if hint:
+            print(f"repro: hint: {hint}", file=sys.stderr)
         return 2
     if args.artifact_out and "artifact" in result:
         import base64
@@ -421,6 +450,36 @@ def _cmd_client(args: argparse.Namespace) -> int:
         )
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def _client_retry_hint(exc: Any, args: argparse.Namespace) -> str:
+    """One actionable line for retryable ``repro client`` failures."""
+    wait = (
+        f"{exc.retry_after_ms}ms"
+        if getattr(exc, "retry_after_ms", None) is not None
+        else "a moment"
+    )
+    if exc.code == "shutting_down":
+        return (
+            f"the daemon is draining; retry in {wait} "
+            "or start a fresh daemon"
+        )
+    if exc.code == "overloaded":
+        return (
+            f"the daemon shed this request (pending queue full); "
+            f"retry in {wait} or raise serve --max-pending"
+        )
+    if exc.code == "circuit_open":
+        return (
+            "repeated transport failures tripped the circuit "
+            "breaker; check the daemon and retry"
+        )
+    if exc.code == "transport":
+        return (
+            f"no answer after {max(1, args.retries)} attempt(s); "
+            f"is a daemon listening on {args.socket!r}?"
+        )
+    return ""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -651,6 +710,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for in-flight requests on shutdown",
     )
     serve.add_argument(
+        "--max-pending", type=int, default=256, metavar="N",
+        help="admission control: refuse (overloaded) once N artifact "
+             "requests are queued for the compile path (default 256)",
+    )
+    serve.add_argument(
+        "--watchdog-timeout", type=float, default=30.0, metavar="S",
+        help="seconds a compile-pool batch may take before the pool "
+             "is declared wedged and compiles go serial (default 30)",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject seeded faults for resilience drills, e.g. "
+             "'refuse=0.05,garble=0.1,crash.mid_batch=0.01' "
+             "(grammar: repro.serve.chaos)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="RNG seed for the --chaos fault plan (default 0)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="print full tracebacks on startup failure",
     )
@@ -699,6 +778,20 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--timeout", type=float, default=120.0, metavar="S",
         help="seconds to wait for the daemon's response",
+    )
+    client.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="S",
+        help="seconds to wait for the unix-socket dial (default 5)",
+    )
+    client.add_argument(
+        "--retries", type=int, default=4, metavar="N",
+        help="attempts for retryable failures (transport/overloaded/"
+             "shutting_down) with jittered backoff (default 4)",
+    )
+    client.add_argument(
+        "--deadline-ms", type=int, default=0, metavar="MS",
+        help="per-request deadline propagated to the daemon "
+             "(0 = none; daemon answers deadline_exceeded on expiry)",
     )
     client.add_argument(
         "--artifact-out", default=None, metavar="PATH",

@@ -2,15 +2,30 @@
 
 * :mod:`repro.serve.store` — the content-addressed, sharded, LRU
   artifact store every compile entry point shares
-  (:class:`ArtifactCache`);
+  (:class:`ArtifactCache`), with sha256 digest verification and
+  quarantine of corrupt entries;
 * :mod:`repro.serve.protocol` — the newline-delimited JSON wire
   protocol (spec: docs/SERVING.md);
 * :mod:`repro.serve.daemon` — the asyncio unix-socket daemon with
-  in-flight request deduplication and pool batching;
-* :mod:`repro.serve.client` — the blocking Python client.
+  in-flight request deduplication, pool batching, admission control,
+  deadline enforcement, and a wedged-pool watchdog;
+* :mod:`repro.serve.client` — the blocking Python client with split
+  timeouts, retries with decorrelated jitter, and a circuit breaker;
+* :mod:`repro.serve.chaos` — the seeded fault-injection harness
+  (:class:`ServeFaultPlan`, :class:`ChaosHarness`).
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.chaos import (
+    ChaosCrash,
+    ChaosHarness,
+    ServeFaultPlan,
+)
+from repro.serve.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+)
 from repro.serve.daemon import (
     ServeConfig,
     Server,
@@ -18,6 +33,7 @@ from repro.serve.daemon import (
     serve,
 )
 from repro.serve.protocol import (
+    CLIENT_ERROR_CODES,
     ERROR_CODES,
     OPS,
     PROTOCOL_VERSION,
@@ -33,13 +49,19 @@ from repro.serve.store import (
 
 __all__ = [
     "ArtifactCache",
+    "CLIENT_ERROR_CODES",
+    "ChaosCrash",
+    "ChaosHarness",
+    "CircuitBreaker",
     "ERROR_CODES",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeFaultPlan",
     "Server",
     "ServerThread",
     "artifact_key",

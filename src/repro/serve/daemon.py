@@ -24,6 +24,27 @@ pipeline many requests over one connection.  Graceful shutdown (the
 drains in-flight work for up to ``drain_timeout`` seconds, and removes
 the socket.  The wire protocol and operational notes are documented in
 docs/SERVING.md.
+
+Degradation under stress is graceful and *typed*, never silent:
+
+* **Admission control** — at most ``max_pending`` artifact requests
+  may wait for the compile path; excess requests are refused with an
+  ``overloaded`` error carrying a ``retry_after_ms`` hint instead of
+  queueing without bound.
+* **Deadlines** — a request's ``deadline_ms`` (protocol v2) is
+  enforced server-side: a request still unanswered when its deadline
+  expires gets ``deadline_exceeded``, and a queued compile all of
+  whose waiters have given up is cancelled before it runs
+  (``serve.abandoned``).
+* **Watchdog** — a compile-pool batch that exceeds
+  ``watchdog_timeout`` seconds marks the pool wedged
+  (``serve.watchdog.trips``) and the daemon falls back to serial
+  in-process compilation, which cannot wedge.
+* **Chaos hooks** — a seeded :class:`repro.serve.chaos.ServeFaultPlan`
+  (the ``chaos`` config field / ``repro serve --chaos``) injects
+  connection refusals, mid-frame disconnects, truncated/garbled
+  frames, stalled reads, and daemon crash-at-phase faults for
+  resilience drills; ``None`` (the default) is zero-overhead.
 """
 
 from __future__ import annotations
@@ -66,6 +87,28 @@ class ServeConfig:
     #: None = honor ``REPRO_COMPILE_CACHE``; False = memory-only serving
     #: (in-flight dedup still applies, nothing touches disk).
     use_cache: Optional[bool] = None
+    #: Admission control: maximum artifact requests queued for the
+    #: compile path before new ones are refused with ``overloaded``.
+    max_pending: int = 256
+    #: Seconds a compile-pool batch may take before the pool is
+    #: declared wedged and the daemon falls back to serial compiles.
+    watchdog_timeout: float = 30.0
+    #: A seeded :class:`repro.serve.chaos.ServeFaultPlan` injecting
+    #: transport/daemon faults (resilience drills); None = no chaos.
+    chaos: Optional[Any] = None
+
+
+class ChaosCrash(BaseException):
+    """An injected daemon crash (chaos testing).
+
+    A ``BaseException`` so no ``except Exception`` recovery path can
+    accidentally swallow the simulated death: the daemon's event loop
+    is already being torn down when this is raised.
+    """
+
+    def __init__(self, phase: str) -> None:
+        self.phase = phase
+        super().__init__(f"injected daemon crash at phase {phase!r}")
 
 
 class Server:
@@ -89,12 +132,18 @@ class Server:
                 os.environ.get("REPRO_COMPILE_CACHE", "1") != "0"
             )
         self.profiler = Profiler()
+        self.chaos = config.chaos
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._waiters: Dict[str, int] = {}
+        self._abandoned: set = set()
+        self._pool_healthy = True
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._conn_tasks: set = set()
+        self._writers: set = set()
         self._closing = False
+        self._crashed = False
         self._done: Optional[asyncio.Event] = None
         self._started = time.monotonic()
         self._prev_default: Optional[ArtifactCache] = None
@@ -114,13 +163,45 @@ class Server:
         # counts against the daemon's own profiler.
         self._prof_cm = profiled(self.profiler)
         self._prof_cm.__enter__()
-        self._remove_stale_socket()
-        self._server = await asyncio.start_unix_server(
-            self._handle_client,
-            path=self.config.socket_path,
-            limit=protocol.MAX_LINE_BYTES,
-        )
+        # Probe-unlink-bind must be atomic against a second daemon
+        # racing for the same path: without the lock, B can probe
+        # while A holds the path bound-but-unprobed, conclude "stale",
+        # and unlink A's live socket — two listeners, one orphaned
+        # socket file.  An flock on <path>.lock serializes the dance.
+        lock_fd = self._acquire_socket_lock()
+        try:
+            self._remove_stale_socket()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client,
+                path=self.config.socket_path,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        finally:
+            os.close(lock_fd)  # releases the flock
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def _acquire_socket_lock(self) -> int:
+        """An exclusive flock on ``<socket>.lock`` (never unlinked,
+        so every contender always locks the same inode)."""
+        import fcntl
+
+        fd = os.open(
+            self.config.socket_path + ".lock",
+            os.O_CREAT | os.O_RDWR, 0o600,
+        )
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return fd
+            except OSError:
+                if time.monotonic() > deadline:
+                    os.close(fd)
+                    raise OSError(
+                        f"could not lock {self.config.socket_path!r} "
+                        "for startup (another daemon is stuck mid-bind?)"
+                    )
+                time.sleep(0.01)
 
     def _remove_stale_socket(self) -> None:
         """Unlinks a leftover socket file from a crashed daemon.
@@ -149,6 +230,41 @@ class Server:
         finally:
             probe.close()
 
+    # -- injected crashes (chaos) ------------------------------------------
+
+    def _maybe_crash(self, phase: str) -> None:
+        """Raises :class:`ChaosCrash` if the fault plan says to die here.
+
+        Callable from the loop thread or a batch thread.  The crash is
+        abrupt by design: the listener and every open connection are
+        torn down and the loop stopped, with no drain and no socket
+        unlink — exactly what a SIGKILL'd daemon leaves behind.
+        """
+        if self.chaos is None or not self.chaos.crash_at(phase):
+            return
+        self._count(f"serve.chaos.crash.{phase}")
+        self.crash()
+        raise ChaosCrash(phase)
+
+    def crash(self) -> None:
+        """Abrupt death: abort connections, close the listener, stop
+        the loop.  Thread-safe and idempotent."""
+        if self._crashed:
+            return
+        self._crashed = True
+        loop = self._loop
+
+        def abort() -> None:
+            if self._server is not None:
+                self._server.close()
+            for writer in list(self._writers):
+                with contextlib.suppress(Exception):
+                    writer.transport.abort()
+            loop.stop()
+
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(abort)
+
     def begin_shutdown(self) -> None:
         """Starts the graceful drain (idempotent, loop thread only)."""
         if self._closing:
@@ -161,6 +277,7 @@ class Server:
             if self._server is not None:
                 self._server.close()
                 await self._server.wait_closed()
+            self._maybe_crash("mid_drain")
             pending = [
                 future for future in self._inflight.values()
                 if not future.done()
@@ -190,8 +307,16 @@ class Server:
     # -- connection handling -----------------------------------------------
 
     async def _handle_client(self, reader, writer) -> None:
+        if self.chaos is not None and self.chaos.refuse_connection():
+            # Injected connection refusal: hang up before reading a
+            # byte, the way an out-of-fds or dying daemon would.
+            self._count("serve.chaos.refused")
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
         task = asyncio.current_task()
         self._conn_tasks.add(task)
+        self._writers.add(writer)
         write_lock = asyncio.Lock()
         line_tasks: set = set()
         try:
@@ -217,6 +342,7 @@ class Server:
                 line_task.cancel()
             with contextlib.suppress(Exception):
                 writer.close()
+            self._writers.discard(writer)
             self._conn_tasks.discard(task)
 
     async def _handle_line(self, line, writer, write_lock) -> None:
@@ -228,15 +354,48 @@ class Server:
             response = await self._respond(request)
         except ProtocolError as exc:
             response = protocol.error_response(
-                request_id, exc.code, exc.message
+                request_id, exc.code, exc.message,
+                retry_after_ms=exc.retry_after_ms,
             )
         except Exception as exc:  # noqa: BLE001 - must answer the client
             response = protocol.error_response(
                 request_id, "internal", str(exc).splitlines()[0]
             )
+        await self._send_response(writer, write_lock, response)
+
+    async def _send_response(self, writer, write_lock, response) -> None:
+        """Writes one response frame, with chaos-injected transport
+        faults (stalls, truncation, garbling, disconnects) applied."""
+        data = protocol.encode(response)
+        action = "deliver"
+        if self.chaos is not None:
+            action, arg = self.chaos.response_action(len(data))
         async with write_lock:
             try:
-                writer.write(protocol.encode(response))
+                if action == "stall":
+                    # A stalled read from the client's point of view:
+                    # the frame arrives, but late.
+                    self._count("serve.chaos.stalled")
+                    await asyncio.sleep(arg)
+                elif action == "disconnect":
+                    # Mid-frame disconnect, zero bytes delivered.
+                    self._count("serve.chaos.disconnected")
+                    writer.transport.abort()
+                    return
+                elif action == "truncate":
+                    # Partial frame, then a hard cut: the client must
+                    # treat the half-line as a transport failure.
+                    self._count("serve.chaos.truncated")
+                    writer.write(data[: max(1, int(arg))])
+                    await writer.drain()
+                    writer.transport.abort()
+                    return
+                elif action == "garble":
+                    # Flip bytes inside the frame (newline preserved):
+                    # the client sees undecodable JSON.
+                    self._count("serve.chaos.garbled")
+                    data = self.chaos.garble_frame(data)
+                writer.write(data)
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 pass  # client went away; nothing to tell it
@@ -261,10 +420,18 @@ class Server:
             return response
         if self._closing:
             raise ProtocolError(
-                "shutting_down", "daemon is draining; not accepting work"
+                "shutting_down",
+                "daemon is draining; not accepting work",
+                retry_after_ms=self._retry_after_ms(),
             )
         payload = await self._serve_artifact(request)
         return protocol.ok_response(request["id"], payload)
+
+    def _retry_after_ms(self) -> int:
+        """The hint sent with retryable refusals: roughly one batch
+        window plus a share of the current backlog."""
+        backlog = self._queue.qsize() if self._queue is not None else 0
+        return int(self.config.batch_window * 1000) + 50 + 10 * backlog
 
     # -- artifact serving --------------------------------------------------
 
@@ -296,6 +463,12 @@ class Server:
         self, request: Dict[str, Any]
     ) -> Dict[str, Any]:
         key = self._key_for(request)
+        loop = asyncio.get_running_loop()
+        deadline_ms = int(request.get("deadline_ms", 0) or 0)
+        deadline = (
+            loop.time() + deadline_ms / 1000.0 if deadline_ms > 0
+            else None
+        )
         if self.cache_enabled:
             blob = self.cache.get_bytes(key)
             if blob is not None:
@@ -304,16 +477,61 @@ class Server:
                     payload["cached"] = True
                     payload["cache_key"] = key
                     return payload
+                # Digest matched but the payload would not rebuild:
+                # quarantine it so the recompile below overwrites a
+                # clean slate instead of racing a poisoned entry.
+                self.cache.quarantine(key)
         future = self._inflight.get(key)
-        if future is not None:
+        if future is not None and not future.cancelled():
             self._count("serve.dedup_hits")
         else:
-            future = asyncio.get_running_loop().create_future()
+            if (
+                self.config.max_pending
+                and self._queue.qsize() >= self.config.max_pending
+            ):
+                self._count("serve.overloaded")
+                raise ProtocolError(
+                    "overloaded",
+                    f"pending queue is full "
+                    f"({self.config.max_pending} requests); "
+                    "retry after the hinted backoff",
+                    retry_after_ms=self._retry_after_ms(),
+                )
+            future = loop.create_future()
             self._inflight[key] = future
             await self._queue.put((key, request))
-        # shield: one client disconnecting must not cancel the shared
-        # compile future out from under the other waiters.
-        payload = dict(await asyncio.shield(future))
+        # A new waiter revives a job every previous waiter abandoned.
+        self._abandoned.discard(key)
+        self._waiters[key] = self._waiters.get(key, 0) + 1
+        try:
+            # shield: one client disconnecting must not cancel the
+            # shared compile future out from under the other waiters.
+            if deadline is None:
+                payload = dict(await asyncio.shield(future))
+            else:
+                try:
+                    payload = dict(await asyncio.wait_for(
+                        asyncio.shield(future),
+                        max(0.0, deadline - loop.time()),
+                    ))
+                except asyncio.TimeoutError:
+                    self._count("serve.deadline_exceeded")
+                    raise ProtocolError(
+                        "deadline_exceeded",
+                        f"deadline of {deadline_ms}ms expired before "
+                        "the artifact was ready",
+                    ) from None
+        finally:
+            remaining = self._waiters.get(key, 1) - 1
+            if remaining <= 0:
+                self._waiters.pop(key, None)
+                if not future.done():
+                    # Every waiter gave up (deadline/disconnect): mark
+                    # the queued job abandoned so the dispatcher skips
+                    # it instead of compiling for nobody.
+                    self._abandoned.add(key)
+            else:
+                self._waiters[key] = remaining
         payload["cached"] = False
         payload["cache_key"] = key
         return payload
@@ -335,9 +553,18 @@ class Server:
                         ))
                     except asyncio.TimeoutError:
                         break
-            self._count("serve.batches")
-            self._count("serve.batched_requests", len(batch))
-            results = await asyncio.to_thread(self._run_batch, batch)
+            batch = self._drop_abandoned(batch)
+            if not batch:
+                continue
+            try:
+                self._maybe_crash("mid_batch")
+                self._count("serve.batches")
+                self._count("serve.batched_requests", len(batch))
+                results = await asyncio.to_thread(self._run_batch, batch)
+            except ChaosCrash:
+                # crash() has already torn the loop down; swallowing
+                # here just keeps the dead dispatcher task quiet.
+                return
             for key, outcome in results.items():
                 future = self._inflight.pop(key, None)
                 if future is None or future.done():
@@ -348,6 +575,22 @@ class Server:
                 else:
                     code, message = value
                     future.set_exception(ProtocolError(code, message))
+
+    def _drop_abandoned(
+        self, batch: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Cancels queued jobs whose waiters have all given up."""
+        live: List[Tuple[str, Dict[str, Any]]] = []
+        for key, request in batch:
+            if key in self._abandoned and not self._waiters.get(key):
+                self._abandoned.discard(key)
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.cancel()
+                self._count("serve.abandoned")
+                continue
+            live.append((key, request))
+        return live
 
     # -- the batch worker (runs in a thread off the event loop) ------------
 
@@ -379,9 +622,57 @@ class Server:
         except Exception as exc:  # noqa: BLE001 - mapped to wire codes
             code = protocol.error_code_for(exc) or "internal"
             return "error", (code, str(exc).splitlines()[0])
+        self._maybe_crash("pre_cache_put")
         if self.cache_enabled:
             self.cache.put_bytes(key, pickle.dumps(payload))
         return "ok", payload
+
+    def _pool_batch_with_watchdog(
+        self, jobs: List[Tuple[str, str]]
+    ) -> Optional[List[Any]]:
+        """``compile_many`` under a watchdog; None = use serial path.
+
+        The pool itself is crash-tolerant, but a *wedged* pool (worker
+        deadlock, a stuck semaphore, an injected ``wedge`` fault) can
+        stall a batch forever.  The batch runs on a helper thread; if
+        it outlives ``watchdog_timeout`` the pool is declared unhealthy
+        — this batch and every later one compile serially in-process,
+        which cannot wedge.  A wedged helper thread eventually finishes
+        or dies with the process; its late results are discarded.
+        """
+        import threading as threading_module
+
+        from repro.perf.parallel import compile_many
+
+        box: Dict[str, Any] = {}
+
+        def work() -> None:
+            try:
+                if self.chaos is not None:
+                    wedge = self.chaos.pool_wedge_seconds()
+                    if wedge > 0:
+                        self._count("serve.chaos.wedged")
+                        time.sleep(wedge)
+                box["programs"] = compile_many(
+                    jobs, processes=self.config.jobs, use_cache=False
+                )
+            except BaseException as exc:  # noqa: BLE001 - boxed
+                box["error"] = exc
+
+        worker = threading_module.Thread(
+            target=work, name="repro-serve-pool-batch", daemon=True
+        )
+        worker.start()
+        worker.join(self.config.watchdog_timeout)
+        if worker.is_alive():
+            self._pool_healthy = False
+            self._count("serve.watchdog.trips")
+            return None
+        if "error" in box:
+            if isinstance(box["error"], ChaosCrash):
+                raise box["error"]
+            return None  # re-run serially for per-job verdicts
+        return box.get("programs")
 
     def _run_compiles(
         self, items: List[Tuple[str, Dict[str, Any]]]
@@ -391,26 +682,23 @@ class Server:
         The happy path fans every job out with one
         :func:`~repro.perf.parallel.compile_many` call (the pool's
         crash tolerance included); if *any* job raises a compile error
-        the batch re-runs serially so each request gets its own
-        verdict instead of the whole batch failing.
+        — or the watchdog declares the pool wedged — the batch re-runs
+        serially so each request gets its own verdict instead of the
+        whole batch failing.
         """
         from repro import OptLevel, compile_source
-        from repro.perf.parallel import compile_many
 
         results: Dict[str, Any] = {}
         jobs = [
             (request["source"], request["opt"]) for _key, request in items
         ]
         programs: Optional[List[Any]] = None
-        if len(set(jobs)) > 1 and (
-            self.config.jobs is None or self.config.jobs > 1
+        if (
+            len(set(jobs)) > 1
+            and (self.config.jobs is None or self.config.jobs > 1)
+            and self._pool_healthy
         ):
-            try:
-                programs = compile_many(
-                    jobs, processes=self.config.jobs, use_cache=False
-                )
-            except Exception:  # noqa: BLE001 - re-run serially below
-                programs = None
+            programs = self._pool_batch_with_watchdog(jobs)
         if programs is not None:
             for (key, _request), program in zip(items, programs):
                 results[key] = self._finish_compile(key, program)
@@ -437,6 +725,7 @@ class Server:
 
     def _finish_compile(self, key: str, program) -> Tuple[str, Any]:
         blob = pickle.dumps(program)
+        self._maybe_crash("pre_cache_put")
         if self.cache_enabled:
             self.cache.put_bytes(key, blob)
         return "ok", _compile_payload(program, blob)
@@ -532,6 +821,14 @@ class Server:
             "dedup_hits": counters.get("serve.dedup_hits", 0),
             "batches": counters.get("serve.batches", 0),
             "batched_requests": counters.get("serve.batched_requests", 0),
+            "overloaded": counters.get("serve.overloaded", 0),
+            "deadline_exceeded": counters.get(
+                "serve.deadline_exceeded", 0
+            ),
+            "abandoned": counters.get("serve.abandoned", 0),
+            "watchdog_trips": counters.get("serve.watchdog.trips", 0),
+            "pool_healthy": self._pool_healthy,
+            "max_pending": self.config.max_pending,
             "cache": self.cache.stats(),
             "counters": counters,
         }

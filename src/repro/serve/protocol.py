@@ -25,7 +25,13 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the optional ``deadline_ms`` request field plus the
+#: ``overloaded`` / ``deadline_exceeded`` error codes and the optional
+#: ``retry_after_ms`` error hint.  Both directions stay backward
+#: compatible: a v1 client simply never sends a deadline and never
+#: sees the new codes' triggers (no deadline ⇒ no expiry; an
+#: overloaded v2 daemon still answers, just with the typed error).
+PROTOCOL_VERSION = 2
 
 #: A line longer than this is rejected with ``bad_request`` rather than
 #: buffered without bound (compiled-artifact responses stay well under).
@@ -34,13 +40,23 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 OPS = ("ping", "stats", "shutdown", "compile", "analyze", "simulate")
 
 ERROR_CODES = (
-    "parse_error",     # the request line was not valid JSON
-    "bad_request",     # valid JSON, but not a valid request
-    "compile_error",   # the source failed to lex/parse/check/compile
-    "runtime_fault",   # the simulation raised a RuntimeFault
-    "deadlock",        # the simulation deadlocked
-    "shutting_down",   # the daemon is draining; retry elsewhere/later
-    "internal",        # unexpected server-side failure
+    "parse_error",        # the request line was not valid JSON
+    "bad_request",        # valid JSON, but not a valid request
+    "compile_error",      # the source failed to lex/parse/check/compile
+    "runtime_fault",      # the simulation raised a RuntimeFault
+    "deadlock",           # the simulation deadlocked
+    "shutting_down",      # the daemon is draining; retry elsewhere/later
+    "overloaded",         # admission control: pending queue full
+    "deadline_exceeded",  # the request's deadline_ms expired server-side
+    "internal",           # unexpected server-side failure
+)
+
+#: Client-side error codes :class:`repro.serve.client.ServeError` may
+#: carry in addition to the wire codes above: they describe failures
+#: the daemon never got to answer.
+CLIENT_ERROR_CODES = (
+    "transport",     # connect/read/write failed or the frame was garbled
+    "circuit_open",  # the client's circuit breaker is failing fast
 )
 
 #: Per-op required and optional fields (optional ones with defaults).
@@ -56,8 +72,8 @@ _OPTIONAL: Dict[str, Dict[str, Any]] = {
     "ping": {},
     "stats": {},
     "shutdown": {},
-    "compile": {"opt": "O3"},
-    "analyze": {"level": "sync"},
+    "compile": {"opt": "O3", "deadline_ms": 0},
+    "analyze": {"level": "sync", "deadline_ms": 0},
     "simulate": {
         "opt": "O3",
         "procs": 8,
@@ -65,17 +81,29 @@ _OPTIONAL: Dict[str, Dict[str, Any]] = {
         "seed": 0,
         "memory_model": "sc",
         "drain_seed": 0,
+        "deadline_ms": 0,
     },
 }
 
 
 class ProtocolError(Exception):
-    """A malformed request/response, tagged with its wire error code."""
+    """A malformed request/response, tagged with its wire error code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``retry_after_ms`` is the optional server hint for retryable codes
+    (``overloaded``, ``shutting_down``): how long a client should wait
+    before trying again.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_ms: Optional[int] = None,
+    ) -> None:
         assert code in ERROR_CODES, code
         self.code = code
         self.message = message
+        self.retry_after_ms = retry_after_ms
         super().__init__(f"[{code}] {message}")
 
 
@@ -149,14 +177,16 @@ def ok_response(
 
 
 def error_response(
-    request_id: Any, code: str, message: str
+    request_id: Any,
+    code: str,
+    message: str,
+    retry_after_ms: Optional[int] = None,
 ) -> Dict[str, Any]:
     assert code in ERROR_CODES, code
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def validate_response(obj: Dict[str, Any]) -> Dict[str, Any]:
@@ -181,6 +211,16 @@ def validate_response(obj: Dict[str, Any]) -> Dict[str, Any]:
                 "bad_request",
                 "an error response must carry {'code': <known code>, "
                 "'message': str}",
+            )
+        retry_after = error.get("retry_after_ms")
+        if retry_after is not None and (
+            isinstance(retry_after, bool)
+            or not isinstance(retry_after, int)
+            or retry_after < 0
+        ):
+            raise ProtocolError(
+                "bad_request",
+                "retry_after_ms must be a non-negative integer",
             )
     return obj
 

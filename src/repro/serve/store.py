@@ -25,11 +25,22 @@ the compile pool, ``compile_with_cache`` — shares:
   default — puts never scan the store, so the unbounded case has zero
   eviction overhead.
 
-* **Telemetry.**  Hits, misses, puts and evictions are counted on the
-  store instance *and* mirrored to the active :mod:`repro.perf`
-  profiler (``artifact_store.hits`` / ``.misses`` / ``.evictions`` /
-  ``.puts``), so ``--profile`` JSON and the daemon's ``stats`` op both
-  expose the hit rate.
+* **Integrity.**  Every put also records the blob's SHA-256 in a
+  ``.blob.sum`` sidecar; every read re-hashes the blob and compares.
+  A mismatch — bit rot, a torn write from a crashed process, injected
+  corruption — *quarantines* the entry (blob and sidecar moved to
+  ``root/quarantine/``) and reports a miss, so a corrupt artifact is
+  recompiled transparently and can never be served, and the bad bytes
+  are preserved for forensics instead of being re-read forever.
+  Entries written before the sidecar existed verify as legacy
+  (unpickle failures still quarantine them).
+
+* **Telemetry.**  Hits, misses, puts, evictions, corruption
+  detections and quarantines are counted on the store instance *and*
+  mirrored to the active :mod:`repro.perf` profiler
+  (``artifact_store.hits`` / ``.misses`` / ``.evictions`` / ``.puts``
+  / ``.corrupt`` / ``.quarantined``), so ``--profile`` JSON and the
+  daemon's ``stats`` op both expose the hit rate.
 
 Writes are atomic (temp file + ``os.replace``) and reads tolerate
 concurrent eviction, so many processes can share one root directory
@@ -140,6 +151,8 @@ class ArtifactCache:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.corrupt = 0
+        self.quarantined = 0
         self._lock = threading.Lock()
 
     # -- key & layout ------------------------------------------------------
@@ -151,15 +164,40 @@ class ArtifactCache:
         """``root/<shard>/<rest>.blob`` — shard = first two hex chars."""
         return os.path.join(self.root, key[:2], f"{key[2:]}.blob")
 
+    def digest_path_for(self, key: str) -> str:
+        """The ``.blob.sum`` sidecar holding the blob's SHA-256 hex."""
+        return self.path_for(key) + ".sum"
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
     # -- raw bytes ---------------------------------------------------------
 
     def get_bytes(self, key: str) -> Optional[bytes]:
-        """The blob for ``key``, or None.  A hit refreshes LRU order."""
+        """The verified blob for ``key``, or None (miss).
+
+        A hit refreshes LRU order.  When a digest sidecar exists, the
+        blob is re-hashed and compared; a mismatch quarantines the
+        entry and reports a miss.  The comparison is retried once to
+        tolerate racing an in-progress overwrite (blob and sidecar are
+        replaced one after the other).
+        """
         path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except OSError:
+        for _attempt in range(2):
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                self._count("misses")
+                return None
+            expected = self._read_digest(key)
+            if expected is None or (
+                hashlib.sha256(data).hexdigest() == expected
+            ):
+                break
+        else:
+            self._count("corrupt")
+            self.quarantine(key)
             self._count("misses")
             return None
         try:
@@ -169,32 +207,90 @@ class ArtifactCache:
         self._count("hits")
         return data
 
+    def _read_digest(self, key: str) -> Optional[str]:
+        try:
+            with open(self.digest_path_for(key), "r",
+                      encoding="ascii") as handle:
+                return handle.read().strip() or None
+        except (OSError, UnicodeDecodeError):
+            return None  # legacy entry (pre-integrity) or unreadable
+
     def put_bytes(self, key: str, data: bytes) -> None:
-        """Atomically stores ``data``; evicts if a budget is exceeded."""
+        """Atomically stores ``data`` plus its digest sidecar; evicts
+        if a budget is exceeded."""
         shard = os.path.dirname(self.path_for(key))
         try:
             os.makedirs(shard, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=shard, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(data)
-                os.replace(tmp_path, self.path_for(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
+            self._write_atomic(
+                shard, self.digest_path_for(key),
+                hashlib.sha256(data).hexdigest().encode("ascii"),
+            )
+            self._write_atomic(shard, self.path_for(key), data)
         except OSError:
             return  # read-only or full filesystem: caching is best-effort
         self._count("puts")
         if self.max_entries is not None or self.max_bytes is not None:
             self.evict_to_budget()
 
+    @staticmethod
+    def _write_atomic(shard: str, path: str, data: bytes) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=shard, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantine(self, key: str) -> bool:
+        """Moves a corrupt entry to ``root/quarantine/`` for forensics.
+
+        Returns True if a blob was actually moved.  The entry stops
+        being served immediately; the next request recompiles and
+        overwrites it.  Races (another process quarantining or
+        evicting the same entry) are benign: a missing file is fine.
+        """
+        moved = False
+        quarantine = self.quarantine_dir()
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(
+                self.path_for(key),
+                os.path.join(quarantine, f"{key}.blob"),
+            )
+            moved = True
+        except OSError:
+            pass
+        try:
+            os.replace(
+                self.digest_path_for(key),
+                os.path.join(quarantine, f"{key}.blob.sum"),
+            )
+        except OSError:
+            pass
+        if moved:
+            self._count("quarantined")
+        return moved
+
+    def quarantined_entries(self) -> int:
+        """How many blobs sit in the quarantine directory."""
+        try:
+            names = os.listdir(self.quarantine_dir())
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".blob"))
+
     # -- pickled objects ---------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
-        """Unpickles the blob for ``key``; a corrupt blob is a miss."""
+        """Unpickles the blob for ``key``; a corrupt blob is
+        quarantined and reported as a miss."""
         data = self.get_bytes(key)
         if data is None:
             return None
@@ -202,6 +298,11 @@ class ArtifactCache:
             return pickle.loads(data)
         except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
+            # The digest matched (or was legacy) but the payload does
+            # not unpickle: quarantine it rather than re-reading the
+            # bad bytes on every future request.
+            self._count("corrupt")
+            self.quarantine(key)
             return None
 
     def put(self, key: str, value: Any) -> None:
@@ -260,6 +361,10 @@ class ArtifactCache:
                 os.unlink(path)
             except OSError:
                 pass  # another process won the race
+            try:
+                os.unlink(path + ".sum")
+            except OSError:
+                pass  # legacy entry without a digest sidecar
             count -= 1
             total -= size
             evicted += 1
@@ -269,10 +374,11 @@ class ArtifactCache:
 
     def clear(self) -> None:
         for path, _mtime, _size in list(self.iter_entries()):
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            for victim in (path, path + ".sum"):
+                try:
+                    os.unlink(victim)
+                except OSError:
+                    pass
 
     # -- telemetry ---------------------------------------------------------
 
@@ -299,6 +405,9 @@ class ArtifactCache:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "quarantine_entries": self.quarantined_entries(),
             "hit_rate": self.hit_rate(),
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,

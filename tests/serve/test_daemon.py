@@ -46,7 +46,7 @@ class TestBasics:
         with ServeClient(socket_path) as client:
             result = client.ping()
         assert result["pong"] is True
-        assert result["version"] == 1
+        assert result["version"] == 2
         assert isinstance(result["pid"], int)
 
     def test_stats_shape(self, server, socket_path):
@@ -376,9 +376,10 @@ class TestShutdown:
                 client.shutdown()
                 with pytest.raises(ServeError) as excinfo:
                     client.compile(SB)
-            # Either the drain answered with shutting_down or the
-            # connection was torn down first; both refuse the work.
-            assert excinfo.value.code in ("shutting_down", "internal")
+            # Either the drain answered with shutting_down (possibly
+            # after retries) or the connection was torn down first;
+            # both refuse the work.
+            assert excinfo.value.code in ("shutting_down", "transport")
         finally:
             thread.stop()
 
@@ -402,3 +403,275 @@ class TestMemoryOnlyMode:
             assert list(thread.server.cache.iter_entries()) == []
         finally:
             thread.stop()
+
+
+class TestAdmissionControl:
+    def test_overloaded_when_pending_queue_fills(
+        self, socket_path, isolated_cache_dir
+    ):
+        """Excess work is shed with a typed error + retry hint, not
+        queued without bound."""
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+            max_pending=2,
+        ))
+        thread.start()
+        try:
+            # Pipeline one slow compile (occupies the batch worker)
+            # plus many distinct fast ones over a raw connection; once
+            # two are pending, the rest must be refused.
+            sources = [APP] + [SB + "\n" * i for i in range(1, 11)]
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(socket_path)
+            sock.settimeout(120)
+            handle = sock.makefile("rwb")
+            for index, source in enumerate(sources):
+                handle.write(json.dumps({
+                    "id": index, "op": "compile",
+                    "source": source, "opt": "O0",
+                }).encode() + b"\n")
+            handle.flush()
+            outcomes = {}
+            for _ in sources:
+                response = json.loads(handle.readline().decode())
+                if response["ok"]:
+                    outcomes[response["id"]] = "ok"
+                else:
+                    outcomes[response["id"]] = response["error"]
+            handle.close()
+            sock.close()
+            shed = [
+                error for error in outcomes.values()
+                if error != "ok"
+            ]
+            assert shed, "with max_pending=2, some work must be shed"
+            for error in shed:
+                assert error["code"] == "overloaded"
+                assert error["retry_after_ms"] >= 0
+            served = [v for v in outcomes.values() if v == "ok"]
+            assert served, "admission control must not refuse everything"
+            counters = thread.server.profiler.counters
+            assert counters.get("serve.overloaded", 0) == len(shed)
+        finally:
+            thread.stop()
+
+    def test_zero_max_pending_disables_shedding(
+        self, socket_path, isolated_cache_dir
+    ):
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+            max_pending=0,
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                assert client.compile(SB, opt="O0")["cached"] is False
+        finally:
+            thread.stop()
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_a_typed_error(
+        self, socket_path, isolated_cache_dir
+    ):
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.request(
+                        "compile", source=APP, opt="O3", deadline_ms=1
+                    )
+            assert excinfo.value.code == "deadline_exceeded"
+            counters = thread.server.profiler.counters
+            assert counters.get("serve.deadline_exceeded", 0) == 1
+        finally:
+            thread.stop()
+
+    def test_generous_deadline_serves_normally(
+        self, socket_path, isolated_cache_dir
+    ):
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.0,
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                result = client.request(
+                    "compile", source=SB, opt="O0",
+                    deadline_ms=120_000,
+                )
+            assert result["cached"] is False
+            assert result["artifact_sha256"]
+        finally:
+            thread.stop()
+
+    def test_abandoned_compile_is_cancelled_before_dispatch(
+        self, socket_path, isolated_cache_dir
+    ):
+        """A queued job all of whose waiters gave up never compiles."""
+        import time as time_module
+
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.3,  # the deadline expires inside the window
+        ))
+        thread.start()
+        try:
+            with ServeClient(socket_path) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.request(
+                        "compile", source=MP, opt="O3", deadline_ms=20
+                    )
+                assert excinfo.value.code == "deadline_exceeded"
+                deadline = time_module.monotonic() + 10
+                while time_module.monotonic() < deadline:
+                    counters = thread.server.profiler.counters
+                    if counters.get("serve.abandoned", 0):
+                        break
+                    time_module.sleep(0.05)
+            counters = thread.server.profiler.counters
+            assert counters.get("serve.abandoned", 0) == 1
+            assert counters.get("compile.pool.jobs", 0) == 0, (
+                "the abandoned job must never reach a compiler"
+            )
+        finally:
+            thread.stop()
+
+
+class TestWatchdog:
+    def test_wedged_pool_trips_watchdog_and_goes_serial(
+        self, socket_path, isolated_cache_dir
+    ):
+        from repro.serve.chaos import ServeFaultPlan
+
+        thread = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+            batch_window=0.2,
+            jobs=2,
+            watchdog_timeout=0.2,
+            chaos=ServeFaultPlan(wedge=1.0, wedge_seconds=1.5, seed=0),
+        ))
+        thread.start()
+        try:
+            results = {}
+
+            def compile_one(name, source):
+                with ServeClient(socket_path) as client:
+                    results[name] = client.compile(source, opt="O0")
+
+            workers = [
+                threading.Thread(
+                    target=compile_one, args=("sb", SB)
+                ),
+                threading.Thread(
+                    target=compile_one, args=("mp", MP)
+                ),
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            assert set(results) == {"sb", "mp"}, (
+                "the serial fallback must still answer every request"
+            )
+            for result in results.values():
+                assert result["artifact_sha256"]
+            with ServeClient(socket_path) as client:
+                stats = client.stats()
+            assert stats["watchdog_trips"] >= 1
+            assert stats["pool_healthy"] is False
+            assert stats["counters"].get("serve.chaos.wedged", 0) >= 1
+        finally:
+            thread.stop()
+
+
+class TestSocketRace:
+    def test_two_daemons_racing_a_stale_socket(
+        self, socket_path, isolated_cache_dir
+    ):
+        """Satellite: stale-socket recovery racing a live daemon start.
+
+        A crashed daemon leaves its socket file behind; two fresh
+        daemons then race to claim the path.  Exactly one may win —
+        the loser must fail with a clear OSError, and the winner's
+        listener must survive the loser's probe (no stolen socket, no
+        orphaned file)."""
+        import os
+
+        # The crash: a daemon dies without unlinking its socket.
+        crashed = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+        ))
+        crashed.start()
+        crashed.kill()
+        assert os.path.exists(socket_path)
+
+        contenders = [
+            ServerThread(ServeConfig(
+                socket_path=socket_path,
+                cache_dir=isolated_cache_dir,
+                batch_window=0.0,
+            ))
+            for _ in range(2)
+        ]
+        failures = {}
+
+        def start_one(index):
+            try:
+                contenders[index].start()
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                failures[index] = exc
+
+        racers = [
+            threading.Thread(target=start_one, args=(index,))
+            for index in range(2)
+        ]
+        for racer in racers:
+            racer.start()
+        for racer in racers:
+            racer.join(timeout=60)
+
+        assert len(failures) == 1, (
+            f"exactly one contender must lose the race: {failures!r}"
+        )
+        loser_index = next(iter(failures))
+        assert isinstance(failures[loser_index], OSError)
+        assert "live daemon" in str(failures[loser_index])
+        winner = contenders[1 - loser_index]
+        try:
+            # The winner's listener survived the loser's probe.
+            with ServeClient(socket_path) as client:
+                assert client.ping()["pong"] is True
+                assert client.compile(SB, opt="O0")["artifact_sha256"]
+        finally:
+            winner.stop()
+        assert not os.path.exists(socket_path), (
+            "graceful shutdown must leave no orphaned socket file"
+        )
+
+    def test_start_against_live_daemon_fails_cleanly(
+        self, server, socket_path, isolated_cache_dir
+    ):
+        second = ServerThread(ServeConfig(
+            socket_path=socket_path,
+            cache_dir=isolated_cache_dir,
+        ))
+        with pytest.raises(OSError, match="live daemon"):
+            second.start()
+        # The incumbent is untouched.
+        with ServeClient(socket_path) as client:
+            assert client.ping()["pong"] is True

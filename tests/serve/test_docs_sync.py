@@ -6,7 +6,9 @@ Three contracts:
   ``repro.cli.build_parser()`` defines — both directions, per section;
 * every ```json example in docs/SERVING.md round-trips through the
   protocol validators (requests through ``validate_request``,
-  responses through ``validate_response``);
+  responses through ``validate_response``), and its "Failure modes &
+  retry semantics" table names exactly the wire + client error codes
+  with the retryable column matching ``client.RETRYABLE_CODES``;
 * every repo path docs/ARCHITECTURE.md's module map names exists, and
   README links all three documents.
 """
@@ -118,6 +120,58 @@ class TestServingSpec:
         table = table.split("##", 1)[0]
         documented = set(re.findall(r"`([a-z_]+)`", table))
         assert documented == set(ERROR_CODES)
+
+    def _failure_mode_rows(self):
+        """[(code, origin, retryable)] from the failure-modes table."""
+        text = (DOCS / "SERVING.md").read_text(encoding="utf-8")
+        section = text.split("## Failure modes & retry semantics", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        rows = re.findall(
+            r"^\| `([a-z_]+)` \| (daemon|client) \| (yes|no) \|",
+            section,
+            re.MULTILINE,
+        )
+        assert rows, "SERVING.md lost its failure-modes table"
+        return rows
+
+    def test_failure_modes_table_covers_every_code(self):
+        """Satellite contract: every code a caller can observe — wire
+        codes and client-side codes alike — has a documented failure
+        mode, and nothing documented is dead."""
+        from repro.serve.protocol import CLIENT_ERROR_CODES, ERROR_CODES
+
+        documented = {code for code, _origin, _retry in
+                      self._failure_mode_rows()}
+        actual = set(ERROR_CODES) | set(CLIENT_ERROR_CODES)
+        assert documented == actual, (
+            f"failure-modes table out of sync: "
+            f"undocumented={actual - documented}, "
+            f"dead={documented - actual}"
+        )
+
+    def test_failure_modes_origin_column_is_honest(self):
+        from repro.serve.protocol import CLIENT_ERROR_CODES
+
+        for code, origin, _retry in self._failure_mode_rows():
+            expected = (
+                "client" if code in CLIENT_ERROR_CODES else "daemon"
+            )
+            assert origin == expected, (
+                f"{code} is a {expected}-side code, table says {origin}"
+            )
+
+    def test_failure_modes_retryable_column_matches_client(self):
+        """The 'retryable' column IS the client's retry policy."""
+        from repro.serve.client import RETRYABLE_CODES
+
+        documented_retryable = {
+            code for code, _origin, retry in self._failure_mode_rows()
+            if retry == "yes"
+        }
+        assert documented_retryable == set(RETRYABLE_CODES), (
+            f"table says {documented_retryable} retry, "
+            f"client retries {set(RETRYABLE_CODES)}"
+        )
 
     def test_documented_defaults_match_protocol(self):
         """The request-field table's defaults are the real defaults."""

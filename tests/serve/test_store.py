@@ -147,6 +147,121 @@ class TestEviction:
         assert list(cache.iter_entries()) == []
 
 
+class TestIntegrity:
+    def test_put_writes_digest_sidecar(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "a1" + "0" * 62
+        cache.put_bytes(key, b"payload")
+        with open(cache.digest_path_for(key)) as handle:
+            recorded = handle.read().strip()
+        assert recorded == hashlib.sha256(b"payload").hexdigest()
+
+    def test_bitflip_is_detected_and_quarantined(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "b2" + "0" * 62
+        cache.put_bytes(key, b"correct bytes")
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"tampered bytes")
+        assert cache.get_bytes(key) is None
+        # The bad bytes moved to quarantine — off the serving path,
+        # preserved for forensics, never re-read as a live entry.
+        assert not os.path.exists(cache.path_for(key))
+        assert not os.path.exists(cache.digest_path_for(key))
+        assert cache.quarantined_entries() == 1
+        quarantined = os.path.join(
+            cache.quarantine_dir(), f"{key}.blob"
+        )
+        with open(quarantined, "rb") as handle:
+            assert handle.read() == b"tampered bytes"
+        assert (cache.corrupt, cache.quarantined) == (1, 1)
+
+    def test_truncated_blob_is_detected(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "c3" + "0" * 62
+        cache.put_bytes(key, b"0123456789")
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"01234")
+        assert cache.get_bytes(key) is None
+        assert cache.quarantined_entries() == 1
+
+    def test_recompile_after_quarantine_serves_again(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "d4" + "0" * 62
+        cache.put_bytes(key, b"good")
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"evil")
+        assert cache.get_bytes(key) is None
+        cache.put_bytes(key, b"good again")  # the transparent recompile
+        assert cache.get_bytes(key) == b"good again"
+        assert cache.quarantined_entries() == 1
+
+    def test_unpicklable_blob_is_quarantined(self, tmp_path):
+        """Satellite fix: a corrupt blob must not be re-read forever."""
+        cache = make_cache(tmp_path)
+        key = "e5" + "0" * 62
+        cache.put(key, [1, 2, 3])
+        # Overwrite blob AND sidecar consistently: the digest matches,
+        # but the payload cannot unpickle (legacy-entry style rot).
+        bad = b"\x80\x05 garbage that will not unpickle"
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(bad)
+        with open(cache.digest_path_for(key), "w") as handle:
+            handle.write(hashlib.sha256(bad).hexdigest())
+        assert cache.get(key) is None
+        assert not os.path.exists(cache.path_for(key))
+        assert cache.quarantined_entries() == 1
+        assert cache.corrupt == 1
+
+    def test_legacy_entry_without_sidecar_still_serves(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "f6" + "0" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"pre-integrity entry")
+        assert cache.get_bytes(key) == b"pre-integrity entry"
+        assert cache.corrupt == 0
+
+    def test_eviction_removes_sidecars(self, tmp_path):
+        cache = make_cache(tmp_path, max_entries=1)
+        k1, k2 = "1" * 64, "2" * 64
+        cache.put_bytes(k1, b"one")
+        os.utime(cache.path_for(k1), (1000, 1000))
+        cache.put_bytes(k2, b"two")
+        assert not os.path.exists(cache.path_for(k1))
+        assert not os.path.exists(cache.digest_path_for(k1))
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "3" * 64
+        cache.put_bytes(key, b"x")
+        cache.clear()
+        assert not os.path.exists(cache.digest_path_for(key))
+
+    def test_quarantine_is_invisible_to_entry_scans(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "a7" + "0" * 62
+        cache.put_bytes(key, b"bytes")
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"rot")
+        assert cache.get_bytes(key) is None
+        assert list(cache.iter_entries()) == []
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["quarantine_entries"] == 1
+
+    def test_corrupt_counters_mirrored_to_profiler(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = "b8" + "0" * 62
+        with profiled(Profiler()) as prof:
+            cache.put_bytes(key, b"v")
+            with open(cache.path_for(key), "wb") as handle:
+                handle.write(b"X")
+            cache.get_bytes(key)
+        counters = prof.to_dict()["counters"]
+        assert counters["artifact_store.corrupt"] == 1
+        assert counters["artifact_store.quarantined"] == 1
+
+
 class TestTelemetry:
     def test_instance_counters(self, tmp_path):
         cache = make_cache(tmp_path)
