@@ -24,11 +24,28 @@ STEPS = 2
 
 
 def source(procs: int) -> str:
-    block = NODES // procs
+    return _program(NODES, procs, STEPS)
+
+
+def scaled_source(procs: int, block: int = 8, steps: int = 4) -> str:
+    """Weak-scaled variant: ``block`` nodes *per processor*.
+
+    The fixed-size :func:`source` divides ``NODES = 64`` across the
+    processors, which caps the processor count at 32 and shrinks the
+    per-processor work as the machine grows.  The runtime scaling
+    bench (ROADMAP item 4) needs the opposite: constant work per
+    processor as the count climbs to 1024, so the total problem grows
+    with the machine (``block * procs`` nodes per field).
+    """
+    return _program(block * procs, procs, steps)
+
+
+def _program(nodes: int, procs: int, steps: int) -> str:
+    block = nodes // procs
     return f"""
-// EM3D: bipartite E/H leapfrog, {NODES} nodes per field, {STEPS} steps.
-shared double E[{NODES}];
-shared double H[{NODES}];
+// EM3D: bipartite E/H leapfrog, {nodes} nodes per field, {steps} steps.
+shared double E[{nodes}];
+shared double H[{nodes}];
 
 void main() {{
   int t; int i;
@@ -46,7 +63,7 @@ void main() {{
   }}
   barrier();
 
-  for (t = 0; t < {STEPS}; t = t + 1) {{
+  for (t = 0; t < {steps}; t = t + 1) {{
     // Half-step 1: E from the right neighbor's H block.
     for (i = 0; i < {block}; i = i + 1) {{
       hbuf[i] = H[rbase + i];
@@ -77,10 +94,21 @@ void main() {{
 
 def reference(procs: int) -> Tuple[List[float], List[float]]:
     """E and H after STEPS leapfrog steps (pure Python model)."""
-    block = NODES // procs
-    e = [0.01 * i for i in range(NODES)]
-    h = [1.0 - 0.02 * i for i in range(NODES)]
-    for _t in range(STEPS):
+    return _reference(NODES, procs, STEPS)
+
+
+def scaled_reference(procs: int, block: int = 8,
+                     steps: int = 4) -> Tuple[List[float], List[float]]:
+    """Reference model for :func:`scaled_source`."""
+    return _reference(block * procs, procs, steps)
+
+
+def _reference(nodes: int, procs: int,
+               steps: int) -> Tuple[List[float], List[float]]:
+    block = nodes // procs
+    e = [0.01 * i for i in range(nodes)]
+    h = [1.0 - 0.02 * i for i in range(nodes)]
+    for _t in range(steps):
         new_e = list(e)
         for p in range(procs):
             base = p * block

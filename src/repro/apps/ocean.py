@@ -28,10 +28,25 @@ STEPS = 3
 
 
 def source(procs: int) -> str:
-    rows_per = ROWS // procs
+    return _program(ROWS, procs, STEPS)
+
+
+def scaled_source(procs: int, rows_per: int = 4, steps: int = 3) -> str:
+    """Weak-scaled variant: ``rows_per`` grid rows *per processor*.
+
+    The fixed :func:`source` splits ``ROWS = 32`` across processors
+    (capping at 32 procs); the runtime scaling bench grows the grid
+    with the machine instead (``rows_per * procs`` rows), keeping the
+    per-processor stencil work constant up to 1024 processors.
+    """
+    return _program(rows_per * procs, procs, steps)
+
+
+def _program(rows: int, procs: int, steps: int) -> str:
+    rows_per = rows // procs
     return f"""
-// Ocean: 5-point stencil relaxation, {ROWS}x{COLS} grid, {STEPS} steps.
-shared double G[{ROWS}][{COLS}];
+// Ocean: 5-point stencil relaxation, {rows}x{COLS} grid, {steps} steps.
+shared double G[{rows}][{COLS}];
 
 void main() {{
   int t; int i; int j;
@@ -49,7 +64,7 @@ void main() {{
   }}
   barrier();
 
-  for (t = 0; t < {STEPS}; t = t + 1) {{
+  for (t = 0; t < {steps}; t = t + 1) {{
     // Gather boundary rows from the neighboring processors.
     if (MYPROC > 0) {{
       for (j = 0; j < {COLS}; j = j + 1) {{ up[j] = G[base - 1][j]; }}
@@ -91,12 +106,22 @@ void main() {{
 
 def reference() -> List[List[float]]:
     """The grid after STEPS relaxations (pure Python reference model)."""
+    return _reference(ROWS, STEPS)
+
+
+def scaled_reference(procs: int, rows_per: int = 4,
+                     steps: int = 3) -> List[List[float]]:
+    """Reference model for :func:`scaled_source`."""
+    return _reference(rows_per * procs, steps)
+
+
+def _reference(rows: int, steps: int) -> List[List[float]]:
     grid = [
-        [float(r) + 0.1 * c for c in range(COLS)] for r in range(ROWS)
+        [float(r) + 0.1 * c for c in range(COLS)] for r in range(rows)
     ]
-    for _step in range(STEPS):
+    for _step in range(steps):
         def at(r: int, c: int) -> float:
-            if 0 <= r < ROWS and 0 <= c < COLS:
+            if 0 <= r < rows and 0 <= c < COLS:
                 return grid[r][c]
             return 0.0
 
@@ -106,7 +131,7 @@ def reference() -> List[List[float]]:
                         + at(r, c + 1))
                 for c in range(COLS)
             ]
-            for r in range(ROWS)
+            for r in range(rows)
         ]
     return grid
 

@@ -6,6 +6,8 @@
     repro compile program.ms [--opt O0..O4] [--emit]
               [--verify-each-pass] [--print-after-pass PASS]
     repro run program.ms [--opt O3] [--procs 8] [--machine cm5] [--seed 0]
+              [--barrier-topology central|sense|tree] [--tree-fanin K]
+              [--engine batched|reference]
               [--memory-model sc|tso|pso] [--drain-seed 0] [--strip-delays]
               [--faults drop=0.1,dup=0.05] [--fault-seed 0] [--verbose]
     repro passes
@@ -32,11 +34,15 @@ from typing import Any, List, Optional
 from repro import OptLevel, analyze_source, compile_source
 from repro.analysis.delays import AnalysisLevel
 from repro.runtime.machine import (
+    BARRIER_TOPOLOGIES,
     MACHINES,
     MEMORY_MODELS,
     get_machine,
+    validate_barrier_topology,
     validate_memory_model,
+    validate_tree_fanin,
 )
+from repro.runtime.simulator import ENGINES
 
 
 def _read_source(path: str) -> str:
@@ -181,18 +187,37 @@ def _print_fault_summary(result) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     # Validate every schedule knob before compiling anything: a typo'd
-    # machine or memory model (with or without --faults) gets the
-    # one-line exit-2 diagnostic, never a traceback.
+    # machine, memory model, barrier topology, tree fan-in or
+    # processor count (with or without --faults) gets the one-line
+    # exit-2 diagnostic, never a traceback.
     try:
         plan = _parse_faults(args)
         machine = get_machine(args.machine)
         model = validate_memory_model(args.memory_model)
+        topology = validate_barrier_topology(args.barrier_topology)
+        fanin = args.tree_fanin
+        if topology == "tree":
+            fanin = validate_tree_fanin(
+                machine.tree_fanin if fanin is None else fanin
+            )
+        if args.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {args.engine!r} "
+                f"(known: {', '.join(ENGINES)})"
+            )
+        if args.procs > machine.max_procs:
+            raise ValueError(
+                f"{args.procs} processors exceeds the {machine.name} "
+                f"model's limit of {machine.max_procs}"
+            )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"repro: error: {message}", file=sys.stderr)
         return 2
     if model != "sc":
         machine = machine.with_memory_model(model, args.drain_seed)
+    if topology != machine.barrier_topology or fanin is not None:
+        machine = machine.with_barrier_topology(topology, fanin)
     program = compile_source(
         _read_source(args.source), OptLevel(args.opt),
         filename=args.source, options=_pipeline_options(args),
@@ -206,7 +231,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_kwargs["fault_plan"] = plan
     try:
         result = program.run(
-            args.procs, machine, seed=args.seed, **run_kwargs
+            args.procs, machine, seed=args.seed, engine=args.engine,
+            **run_kwargs
         )
     except (DeadlockError, RuntimeFault) as exc:
         return _runtime_error_exit(exc, args.verbose)
@@ -280,6 +306,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(message, file=sys.stderr)
 
+    try:
+        topology = validate_barrier_topology(args.barrier_topology)
+    except KeyError as exc:
+        print(f"repro: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
     profiles = (
         sorted(PROFILES) if args.profile == "all" else [args.profile]
     )
@@ -306,6 +338,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             iterations=iterations,
             budget_seconds=budget,
             schedules_per_program=args.schedules,
+            barrier_topology=topology,
             levels=tuple(args.levels.split(",")),
             sc_step_limit=args.step_limit,
             failures_dir=args.failures_dir,
@@ -546,6 +579,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--barrier-topology", default="central", metavar="TOPO",
+        help="barrier synchronization topology "
+             f"({', '.join(BARRIER_TOPOLOGIES)}; default central, "
+             "the seed-identical rendezvous)",
+    )
+    run.add_argument(
+        "--tree-fanin", type=int, default=None, metavar="K",
+        help="combining-tree fan-in for --barrier-topology tree "
+             "(power of two >= 2; default the machine model's, 4)",
+    )
+    run.add_argument(
+        "--engine", default="batched", metavar="NAME",
+        help=f"event engine ({', '.join(ENGINES)}; default batched — "
+             "reference is the seed heapq loop, cycle-identical)",
+    )
+    run.add_argument(
         "--memory-model", default="sc", metavar="MODEL",
         help="memory model the simulated hardware executes "
              f"({', '.join(MEMORY_MODELS)}; default sc)",
@@ -637,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--schedules", type=int, default=3, metavar="N",
         help="adversarial schedules per program",
+    )
+    fuzz.add_argument(
+        "--barrier-topology", default="central", metavar="TOPO",
+        help="barrier topology every schedule runs "
+             f"({', '.join(BARRIER_TOPOLOGIES)}; default central)",
     )
     fuzz.add_argument(
         "--levels", default="O0,O1,O3", metavar="L1,L2,...",

@@ -127,6 +127,10 @@ class FuzzConfig:
     levels: Tuple[str, ...] = DEFAULT_LEVELS
     procs_choices: Tuple[int, ...] = (2, 3, 4)
     phase_range: Tuple[int, int] = (3, 5)
+    #: Barrier topology every schedule's machine runs ("central" =
+    #: the seed rendezvous; "sense"/"tree" exercise the scalable
+    #: topologies against the same snapshot/SC oracles).
+    barrier_topology: str = "central"
     sc_step_limit: int = 20_000
     failures_dir: str = "fuzz-failures"
     max_failures: int = 5
@@ -290,6 +294,8 @@ def check_program(
     reference_at = None
     for schedule in schedules:
         machine = schedule.machine_config()
+        if config.barrier_topology != "central":
+            machine = machine.with_barrier_topology(config.barrier_topology)
         plan = schedule.fault_plan()
         if stats is not None:
             stats.schedules_run += 1

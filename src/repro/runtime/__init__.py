@@ -10,7 +10,18 @@ from repro.runtime.consistency import (
     find_violation_witness,
     is_sequentially_consistent,
 )
-from repro.runtime.machine import CM5, DASH, MACHINES, T3D, MachineConfig, get_machine
+from repro.runtime.events import CalendarQueue, LinkChannels
+from repro.runtime.machine import (
+    BARRIER_TOPOLOGIES,
+    CM5,
+    DASH,
+    MACHINES,
+    T3D,
+    MachineConfig,
+    get_machine,
+    validate_barrier_topology,
+    validate_tree_fanin,
+)
 from repro.runtime.memory import GlobalMemory
 from repro.runtime.network import (
     FaultPlan,
@@ -23,13 +34,21 @@ from repro.runtime.network import (
     StallWindow,
 )
 from repro.runtime.simulator import (
+    ENGINES,
     ProcState,
     Processor,
     SimulationResult,
     Simulator,
     run_module,
 )
-from repro.runtime.trace import ExecutionTrace, MemEvent
+from repro.runtime.topology import (
+    BarrierTopology,
+    CentralBarrier,
+    SenseBarrier,
+    TreeBarrier,
+    build_topology,
+)
+from repro.runtime.trace import ExecutionTrace, MemEvent, PrecedenceOracle, SyncRecord
 
 __all__ = [
     "MachineConfig",
@@ -38,6 +57,17 @@ __all__ = [
     "CM5",
     "T3D",
     "DASH",
+    "BARRIER_TOPOLOGIES",
+    "validate_barrier_topology",
+    "validate_tree_fanin",
+    "BarrierTopology",
+    "CentralBarrier",
+    "SenseBarrier",
+    "TreeBarrier",
+    "build_topology",
+    "CalendarQueue",
+    "LinkChannels",
+    "ENGINES",
     "GlobalMemory",
     "Network",
     "NetworkStats",
@@ -54,6 +84,8 @@ __all__ = [
     "run_module",
     "ExecutionTrace",
     "MemEvent",
+    "SyncRecord",
+    "PrecedenceOracle",
     "is_sequentially_consistent",
     "find_violation_witness",
 ]

@@ -3,21 +3,84 @@
 An execution is sequentially consistent when some total order ``S`` of
 its accesses (a) contains every processor's program order and (b) makes
 every read return the most recent preceding write (Lamport).  Deciding
-this is NP-hard in general; the checker below is a memoized backtracking
-search adequate for litmus-test-sized traces, which is exactly what the
-test suite feeds it.
+this is NP-hard in general; the exact checker below is a memoized
+backtracking search adequate for litmus-test-sized traces.
+
+Large traced runs (the 256+ processor configurations of ROADMAP item
+4) never fit the exact search, so a **fast accept path** runs first:
+one pass over the :class:`~repro.runtime.trace.PrecedenceOracle`'s
+topological event order with per-location last-write/open-read sets, a
+la FastTrack.  If the trace is data-race-free under the recorded
+synchronization *and* every read returns its happens-before-latest
+write, then any hb-consistent linearization is an SC witness — answer
+``True`` without searching.  Any race or value mismatch makes the fast
+path abstain (it does **not** answer ``False``: the exact checker only
+requires ``S`` to contain program order, so a read may legally return
+a value that contradicts the sync-induced hb order — e.g.
+``P0: w x=1; post f`` / ``P1: wait f; r x=0`` is SC under program
+order alone).  Abstention falls through to the exact search, so the
+fast path is sound in both directions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.runtime.trace import ExecutionTrace, Location
+from repro.runtime.trace import ExecutionTrace, Location, MemEvent, PrecedenceOracle
 
 Value = Union[int, float]
 
 #: Default initial contents of every location.
 _DEFAULT_INITIAL: Value = 0
+
+
+def _fast_sc_verdict(
+    trace: ExecutionTrace,
+    initial: Dict[Location, Value],
+) -> Optional[bool]:
+    """``True`` when provably SC via race-freedom; ``None`` to abstain.
+
+    Sound positives only: a ``True`` means every conflicting access
+    pair was hb-ordered by the recorded syncs (checking each access
+    against the hb-latest write suffices — ordered writes form a chain,
+    so ordering with the chain head orders the whole chain) and every
+    read matched the unique hb-preceding write, making any topological
+    linearization of hb a legal total order.
+    """
+    oracle = PrecedenceOracle(trace)
+    events = oracle.topological_events()
+    if events is None:
+        return None
+    last_write: Dict[Location, MemEvent] = {}
+    open_reads: Dict[Location, List[MemEvent]] = {}
+    for event in events:
+        location = event.location
+        writer = last_write.get(location)
+        if event.op == "w":
+            if writer is not None and not oracle.precedes(
+                writer.proc, writer.pos, event.proc, event.pos
+            ):
+                return None  # write-write race
+            for read in open_reads.get(location, ()):
+                if not oracle.precedes(
+                    read.proc, read.pos, event.proc, event.pos
+                ):
+                    return None  # read-write race
+            last_write[location] = event
+            open_reads[location] = []
+        else:
+            if writer is not None and not oracle.precedes(
+                writer.proc, writer.pos, event.proc, event.pos
+            ):
+                return None  # write-read race
+            expected = (
+                writer.value if writer is not None
+                else initial.get(location, _DEFAULT_INITIAL)
+            )
+            if event.value != expected:
+                return None  # hb-inexplicable value: needs the search
+            open_reads.setdefault(location, []).append(event)
+    return True
 
 
 class StepLimitExceeded(RuntimeError):
@@ -37,10 +100,14 @@ def is_sequentially_consistent(
     """Does some legal total order explain the trace?
 
     ``initial`` overrides the default all-zero initial memory.  The
-    search is exact; ``step_limit`` bounds pathological cases (raising
+    race-free fast path (see :func:`_fast_sc_verdict`) accepts most
+    well-synchronized traces in linear time; otherwise the search is
+    exact, with ``step_limit`` bounding pathological cases (raising
     rather than answering wrongly).
     """
     initial = initial or {}
+    if _fast_sc_verdict(trace, initial):
+        return True
     per_proc = [list(events) for events in trace.per_proc]
     lengths = [len(events) for events in per_proc]
 

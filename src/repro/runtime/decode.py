@@ -1,0 +1,570 @@
+"""Threaded-code decoder for the batched engine's interpreter.
+
+Profiling the seed runtime at 256 processors showed the event heap was
+*not* the bottleneck: ~80% of wall time sat in ``Processor._execute``'s
+giant opcode dispatch and its per-operand ``value()`` calls.  The
+batched engine therefore decodes each function once per simulator into
+**step closures** — one callable per entry point — and the advance
+loop becomes ``r = steps[i](proc, frame, regs)`` with the closure
+returning the next index (or ``-1`` = refetch frame/block, ``-2`` =
+blocked/done).
+
+Two tiers of steps:
+
+* **Fused runs.**  Maximal straight-line sequences of *local* opcodes
+  (const/move/binop/unop/intrinsic/local array traffic, plus a
+  trailing jump/branch) are compiled to one generated-source function:
+  operand loads become direct ``regs[...]`` accesses, temps written
+  earlier in the run are cached in Python locals, the cycle cost of
+  the whole run is added with a single ``proc.clock +=``.  Local ops
+  never touch shared memory, the network, the store buffers or the
+  trace, so fusing them is invisible to everything but wall time.
+
+* **Slow steps.**  Every opcode with simulator-visible effects
+  (shared accesses, split-phase traffic, synchronization, call/ret —
+  and any instruction whose uid is a compiler-placed delay fence)
+  funnels through the seed's ``Processor._execute`` unchanged, which
+  keeps message formats, fence semantics, blocking behavior and trace
+  recording bit-for-bit identical between engines.
+
+Parity contract (pinned by the differential tests): for any program,
+the decoded interpreter produces the same per-processor clocks,
+instruction counts, message sequences and faults as the seed
+``advance`` loop.  The subtleties that matter:
+
+* reads of a temp that may hold a pending split-phase value
+  (a non-fused ``get`` destination, or a load from a local array some
+  fused ``get`` lands in) are guarded exactly like ``value()``;
+* an undefined temp raises the seed's ``use of undefined temp``
+  fault (the generated code catches ``KeyError`` from ``regs``);
+* local-array bounds faults reproduce the seed message verbatim;
+* the cycle-budget check moves from per-instruction to per-step —
+  a runaway loop still faults (every loop crosses a block boundary,
+  i.e. a step), merely a few cycles later.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import RuntimeFault
+from repro.ir.cfg import Function
+from repro.ir.instructions import BinOpKind, Const, Instr, Opcode, UnOpKind
+from repro.lang.types import Distribution, ScalarKind
+
+Value = object
+
+
+class _Pending:
+    """Sentinel stored in a get's destination until the reply lands."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+def _binop(kind: BinOpKind, left, right):
+    if kind is BinOpKind.ADD:
+        return left + right
+    if kind is BinOpKind.SUB:
+        return left - right
+    if kind is BinOpKind.MUL:
+        return left * right
+    if kind is BinOpKind.DIV:
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise RuntimeFault("integer division by zero")
+            return int(math.trunc(left / right))  # C-style truncation
+        if right == 0:
+            raise RuntimeFault("float division by zero")
+        return left / right
+    if kind is BinOpKind.MOD:
+        if right == 0:
+            raise RuntimeFault("modulo by zero")
+        left_i, right_i = int(left), int(right)
+        return left_i - int(math.trunc(left_i / right_i)) * right_i
+    if kind is BinOpKind.EQ:
+        return int(left == right)
+    if kind is BinOpKind.NE:
+        return int(left != right)
+    if kind is BinOpKind.LT:
+        return int(left < right)
+    if kind is BinOpKind.LE:
+        return int(left <= right)
+    if kind is BinOpKind.GT:
+        return int(left > right)
+    if kind is BinOpKind.GE:
+        return int(left >= right)
+    if kind is BinOpKind.AND:
+        return int(bool(left) and bool(right))
+    if kind is BinOpKind.OR:
+        return int(bool(left) or bool(right))
+    raise RuntimeFault(f"unknown binop {kind}")  # pragma: no cover
+
+
+def _intrinsic(name: str, args: List):
+    if name == "min":
+        return min(args)
+    if name == "max":
+        return max(args)
+    if name == "abs":
+        return abs(args[0])
+    if name == "sqrt":
+        return math.sqrt(args[0])
+    if name == "floor":
+        return int(math.floor(args[0]))
+    if name == "exp":
+        return math.exp(args[0])
+    if name == "sin":
+        return math.sin(args[0])
+    if name == "cos":
+        return math.cos(args[0])
+    raise RuntimeFault(f"unknown intrinsic {name}")  # pragma: no cover
+
+
+#: Opcodes the fuser may compile inline: purely local effects.
+FAST_OPS = frozenset(
+    {
+        Opcode.CONST,
+        Opcode.MOVE,
+        Opcode.BINOP,
+        Opcode.UNOP,
+        Opcode.INTRINSIC,
+        Opcode.LOAD_LOCAL,
+        Opcode.STORE_LOCAL,
+        Opcode.JUMP,
+        Opcode.BRANCH,
+    }
+)
+
+#: Blocking shared accesses the fuser may specialize when the run is
+#: untraced and sequentially consistent: the owner test compiles
+#: inline, the local-home case reads/writes backing storage directly,
+#: and the remote case bails to the seed ``_execute`` path (which
+#: blocks, so the resume entry compiled after each shared op picks the
+#: run back up).
+SHARED_OPS = frozenset({Opcode.READ_SHARED, Opcode.WRITE_SHARED})
+
+#: Binop kinds whose semantics are type-independent enough to inline.
+_INLINE_BINOPS: Dict[BinOpKind, str] = {
+    BinOpKind.ADD: "({l} + {r})",
+    BinOpKind.SUB: "({l} - {r})",
+    BinOpKind.MUL: "({l} * {r})",
+    BinOpKind.EQ: "int({l} == {r})",
+    BinOpKind.NE: "int({l} != {r})",
+    BinOpKind.LT: "int({l} < {r})",
+    BinOpKind.LE: "int({l} <= {r})",
+    BinOpKind.GT: "int({l} > {r})",
+    BinOpKind.GE: "int({l} >= {r})",
+    BinOpKind.AND: "int(bool({l}) and bool({r}))",
+    BinOpKind.OR: "int(bool({l}) or bool({r}))",
+}
+
+#: Step-closure signature: (processor, frame, regs) -> next index,
+#: -1 to refetch frame/block state, -2 when blocked or done.
+Step = Callable[[object, object, Dict[str, Value]], int]
+
+
+def _pending_temps(function: Function) -> Set[str]:
+    """Temp names that may transiently hold the PENDING sentinel.
+
+    Exactly two producers exist: a non-fused ``get``'s destination
+    temp, and a ``load_local`` from an array some fused ``get`` uses as
+    its landing pad (the load copies the sentinel without faulting,
+    just like the seed interpreter).  Every other write goes through a
+    checked read first, so nothing propagates further.
+    """
+    pending_arrays = set()
+    for block in function.blocks:
+        for ins in block.instrs:
+            if ins.op is Opcode.GET and ins.local_array is not None:
+                pending_arrays.add(ins.local_array)
+    pending: Set[str] = set()
+    for block in function.blocks:
+        for ins in block.instrs:
+            if (
+                ins.op is Opcode.GET
+                and ins.local_array is None
+                and ins.dest is not None
+            ):
+                pending.add(ins.dest.name)
+            elif (
+                ins.op is Opcode.LOAD_LOCAL
+                and ins.var in pending_arrays
+            ):
+                pending.add(ins.dest.name)
+    return pending
+
+
+def _unreachable(proc, frame, regs) -> int:  # pragma: no cover - guard
+    raise RuntimeFault(
+        f"P{proc.pid}: decoder entered the middle of a fused run at "
+        f"{frame.block}+{frame.index}"
+    )
+
+
+class _RunCompiler:
+    """Generates one fused-run step function as Python source."""
+
+    def __init__(self, function: Function, machine, pending: Set[str],
+                 sim=None):
+        self.function = function
+        self.machine = machine
+        self.pending = pending
+        self.sim = sim
+        self.lines: List[str] = []
+        self.locals = itertools.count()
+        self.local_map: Dict[str, str] = {}
+        self.array_map: Dict[str, str] = {}
+        self.env: Dict[str, object] = {
+            "RuntimeFault": RuntimeFault,
+            "_Pending": _Pending,
+            "_binop": _binop,
+            "_intrinsic": _intrinsic,
+        }
+        self.cost = 0
+        self.count = 0
+        self.tail: List[str] = []
+        self.result = "-1"
+
+    def fresh(self) -> str:
+        return f"v{next(self.locals)}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("        " + line)
+
+    def const(self, value) -> str:
+        """Binds a non-literal constant into the exec namespace."""
+        name = f"c{next(self.locals)}"
+        self.env[name] = value
+        return name
+
+    # -- operand access ----------------------------------------------------
+
+    def read(self, operand) -> str:
+        if isinstance(operand, Const):
+            return repr(operand.value)
+        name = operand.name
+        cached = self.local_map.get(name)
+        if cached is not None:
+            return cached
+        if name in self.pending:
+            var = self.fresh()
+            self.emit(f"{var} = regs[{name!r}]")
+            self.emit(f"if {var}.__class__ is _Pending:")
+            self.emit(
+                f'    raise RuntimeFault(f"P{{proc.pid}}: read of '
+                f"%{name} before its get completed (missing sync_ctr "
+                '— compiler bug)")'
+            )
+            self.local_map[name] = var
+            return var
+        return f"regs[{name!r}]"
+
+    def write(self, dest, expr: str) -> None:
+        var = self.fresh()
+        self.emit(f"{var} = {expr}")
+        self.emit(f"regs[{dest.name!r}] = {var}")
+        self.local_map[dest.name] = var
+
+    def array(self, var: str) -> str:
+        cached = self.array_map.get(var)
+        if cached is None:
+            cached = self.fresh()
+            self.emit(f"{cached} = frame.arrays[{var!r}]")
+            self.array_map[var] = cached
+        return cached
+
+    def flat_expr(self, ins: Instr) -> str:
+        """Bounds-checked flat offset, replicating ``_local_flat``."""
+        dims = self.function.local_arrays[ins.var].dims
+        flat = None
+        for operand, extent in zip(ins.indices, dims):
+            if isinstance(operand, Const):
+                index = int(operand.value)
+                if 0 <= index < extent:
+                    term = str(index)
+                else:
+                    # Out of range statically: fault when executed,
+                    # with the seed's exact message.
+                    self.emit(
+                        f'raise RuntimeFault(f"P{{proc.pid}}: local '
+                        f"array {ins.var} index {index} out of range "
+                        f'[0, {extent})")'
+                    )
+                    term = "0"  # unreachable
+            else:
+                iv = self.fresh()
+                self.emit(f"{iv} = int({self.read(operand)})")
+                self.emit(f"if not 0 <= {iv} < {extent}:")
+                self.emit(
+                    f'    raise RuntimeFault(f"P{{proc.pid}}: local '
+                    f"array {ins.var} index {{{iv}}} out of range "
+                    f'[0, {extent})")'
+                )
+                term = iv
+            flat = term if flat is None else f"({flat} * {extent} + {term})"
+        return flat if flat is not None else "0"
+
+    # -- per-opcode translation -------------------------------------------
+
+    def add(self, ins: Instr) -> None:
+        machine = self.machine
+        op = ins.op
+        self.count += 1
+        if op is Opcode.CONST:
+            self.write(ins.dest, repr(ins.value))
+            self.cost += machine.cpu_op
+        elif op is Opcode.MOVE:
+            self.write(ins.dest, self.read(ins.src))
+            self.cost += machine.cpu_op
+        elif op is Opcode.BINOP:
+            template = _INLINE_BINOPS.get(ins.binop)
+            left, right = self.read(ins.lhs), self.read(ins.rhs)
+            if template is not None:
+                expr = template.format(l=left, r=right)
+            else:  # DIV/MOD: runtime-typed, share the seed helper
+                kind = self.const(ins.binop)
+                expr = f"_binop({kind}, {left}, {right})"
+            self.write(ins.dest, expr)
+            self.cost += machine.cpu_op
+        elif op is Opcode.UNOP:
+            value = self.read(ins.src)
+            if ins.unop is UnOpKind.NEG:
+                expr = f"(-{value})"
+            else:
+                expr = f"(0 if {value} else 1)"
+            self.write(ins.dest, expr)
+            self.cost += machine.cpu_op
+        elif op is Opcode.INTRINSIC:
+            args = ", ".join(self.read(a) for a in ins.args)
+            self.write(ins.dest, f"_intrinsic({ins.intrinsic!r}, [{args}])")
+            self.cost += machine.cpu_op * 4
+        elif op is Opcode.LOAD_LOCAL:
+            array = self.array(ins.var)
+            self.write(ins.dest, f"{array}[{self.flat_expr(ins)}]")
+            self.cost += machine.local_mem
+        elif op is Opcode.STORE_LOCAL:
+            array = self.array(ins.var)
+            flat = self.flat_expr(ins)
+            self.emit(f"{array}[{flat}] = {self.read(ins.src)}")
+            self.cost += machine.local_mem
+        elif op is Opcode.JUMP:
+            self.emit(f"frame.block = {ins.target!r}")
+            self.cost += machine.cpu_op
+            self.tail = ["    frame.index = 0"]
+            self.result = "-1"
+        elif op is Opcode.BRANCH:
+            cond = self.read(ins.cond)
+            self.emit(f"if {cond} != 0:")
+            self.emit(f"    frame.block = {ins.true_target!r}")
+            self.emit("else:")
+            self.emit(f"    frame.block = {ins.false_target!r}")
+            self.cost += machine.cpu_op
+            self.tail = ["    frame.index = 0"]
+            self.result = "-1"
+        else:  # pragma: no cover - the fuser only feeds FAST_OPS
+            raise RuntimeFault(f"cannot fuse {ins}")
+
+    def add_shared(self, ins: Instr, index: int) -> None:
+        """Inlines a blocking shared access (read_shared/write_shared).
+
+        Replicates ``_blocking_read``/``_blocking_write`` for the
+        local-home case — same fault messages, same evaluation order
+        (all indices, then the written value, then the leading-bounds
+        /owner check, then trailing bounds) and the same
+        ``local_access`` charge.  A remote owner bails to the seed
+        ``_execute`` path after settling the run's partial cost, and
+        the blocking protocol takes over unchanged.
+        """
+        sim = self.sim
+        machine = self.machine
+        var = sim.memory.var(ins.var)
+        num_procs = sim.num_procs
+        name = ins.var
+        # 1. Evaluate every index left to right (undefined/pending
+        #    faults fire here, before any bounds check — indices_of).
+        idx_terms: List[str] = []
+        for operand in ins.indices:
+            if isinstance(operand, Const):
+                idx_terms.append(str(int(operand.value)))
+            else:
+                iv = self.fresh()
+                self.emit(f"{iv} = int({self.read(operand)})")
+                idx_terms.append(iv)
+        # 2. For writes, materialize the value next (``_blocking_write``
+        #    evaluates it before the owner lookup can fault).
+        val = None
+        if ins.op is Opcode.WRITE_SHARED:
+            val = self.fresh()
+            self.emit(f"{val} = {self.read(ins.src)}")
+        # 3. Leading bounds + owner (messages from ``GlobalMemory``).
+        if var.dims:
+            lead = idx_terms[0]
+            extent = var.dims[0]
+            self.emit(f"if not 0 <= {lead} < {extent}:")
+            self.emit(
+                f'    raise RuntimeFault(f"{name}: leading index '
+                f'{{{lead}}} out of range [0, {extent})")'
+            )
+            if var.distribution is Distribution.CYCLIC:
+                owner = f"({lead} % {num_procs})"
+            else:
+                block = -(-extent // num_procs)
+                if block * num_procs == extent:
+                    # Even division: the min() clamp can never fire
+                    # (lead < extent implies lead // block < procs).
+                    owner = f"({lead} // {block})"
+                else:
+                    owner = f"min({lead} // {block}, {num_procs - 1})"
+        else:
+            owner = "0"
+        # 4. Remote home: settle the run's partial cost and funnel this
+        #    instruction through the seed blocking path (it re-checks
+        #    everything; the processor parks until the reply).
+        ins_ref = self.const(ins)
+        self.emit(f"if {owner} != proc.pid:")
+        if self.cost:
+            self.emit(f"    proc.clock += {self.cost}")
+        self.emit(f"    proc.instructions += {self.count + 1}")
+        self.emit(f"    frame.index = {index}")
+        self.emit(f"    if proc._execute({ins_ref}, frame):")
+        self.emit(f"        return {index + 1}")
+        self.emit("    return -2")
+        # 5. Local home: trailing bounds checks, then direct storage
+        #    access (the leading dimension was checked above).
+        flat = idx_terms[0] if var.dims else "0"
+        for term, extent in zip(idx_terms[1:], var.dims[1:]):
+            self.emit(f"if not 0 <= {term} < {extent}:")
+            self.emit(
+                f'    raise RuntimeFault(f"{name}: index {{{term}}} '
+                f'out of range [0, {extent})")'
+            )
+            flat = f"({flat} * {extent} + {term})"
+        storage = self.array_map.get("\0" + name)
+        if storage is None:
+            storage = self.const(sim.memory._storage[name])
+            self.array_map["\0" + name] = storage
+        if ins.op is Opcode.READ_SHARED:
+            self.write(ins.dest, f"{storage}[{flat}]")
+        elif var.kind is ScalarKind.INT:
+            self.emit(f"{storage}[{flat}] = int({val})")
+        else:
+            self.emit(f"{storage}[{flat}] = {val}")
+        self.cost += machine.local_access
+        self.count += 1
+
+    def compile(self, next_index: int) -> Step:
+        if not self.tail:
+            self.result = str(next_index)
+        body = self.lines or ["        pass"]
+        source = "\n".join(
+            [
+                "def _step(proc, frame, regs):",
+                "    try:",
+                *body,
+                "    except KeyError as exc:",
+                '        raise RuntimeFault(f"P{proc.pid}: use of '
+                'undefined temp %{exc.args[0]}") from None',
+                f"    proc.clock += {self.cost}",
+                f"    proc.instructions += {self.count}",
+                *self.tail,
+                f"    return {self.result}",
+            ]
+        )
+        exec(source, self.env)  # noqa: S102 - deterministic codegen
+        return self.env["_step"]
+
+
+def _make_slow(ins: Instr, index: int) -> Step:
+    """A step that funnels through the seed ``_execute`` path."""
+    if ins.op in (Opcode.JUMP, Opcode.BRANCH, Opcode.CALL, Opcode.RET):
+        # Control may change the frame or block: refetch on success.
+        def step(proc, frame, regs, _ins=ins, _idx=index) -> int:
+            frame.index = _idx
+            proc.instructions += 1
+            if proc._execute(_ins, frame):
+                return -1
+            return -2
+    else:
+        def step(
+            proc, frame, regs, _ins=ins, _idx=index, _nxt=index + 1
+        ) -> int:
+            frame.index = _idx
+            proc.instructions += 1
+            if proc._execute(_ins, frame):
+                # Non-control success always lands on index + 1
+                # (blocking paths return False instead).
+                return _nxt
+            return -2
+    return step
+
+
+def decode_function(
+    function: Function,
+    machine,
+    delay_fences: Optional[frozenset] = None,
+    sim=None,
+) -> Dict[str, List[Step]]:
+    """Decodes every block of ``function`` into step lists.
+
+    Entry points into a step list are index 0 and each slow step's
+    successor (where blocked processors resume); interior indices of a
+    fused run are filled with a loud guard.
+
+    When ``sim`` is given and the run is untraced and sequentially
+    consistent, blocking shared accesses fuse too (the dominant cost
+    of stencil kernels is local-home reads/writes — see
+    :meth:`_RunCompiler.add_shared`).  A remote access blocks with the
+    frame advanced past it, so each position after a fused shared op
+    gets its own suffix-run entry for the resume.
+    """
+    fences = delay_fences or frozenset()
+    pending = _pending_temps(function)
+    shared_ok = sim is not None and sim.trace is None and sim.weak is None
+
+    def fusable(ins: Instr) -> bool:
+        if ins.uid in fences:
+            return False
+        if ins.op in FAST_OPS:
+            return True
+        if shared_ok and ins.op in SHARED_OPS:
+            # Arity mismatches fault through the seed path instead.
+            return len(ins.indices) == len(sim.memory.var(ins.var).dims)
+        return False
+
+    decoded: Dict[str, List[Step]] = {}
+    for block in function.blocks:
+        instrs = block.instrs
+        steps: List[Step] = [_unreachable] * len(instrs)
+        i = 0
+        while i < len(instrs):
+            if fusable(instrs[i]):
+                j = i
+                while j < len(instrs) and fusable(instrs[j]):
+                    j += 1
+                # One entry at the head of the run, plus one after each
+                # fused shared access (remote blocking resumes there).
+                entries = [i] + [
+                    k + 1
+                    for k in range(i, j - 1)
+                    if instrs[k].op in SHARED_OPS
+                ]
+                for start in entries:
+                    run = _RunCompiler(function, machine, pending, sim)
+                    for k in range(start, j):
+                        if instrs[k].op in SHARED_OPS:
+                            run.add_shared(instrs[k], k)
+                        else:
+                            run.add(instrs[k])
+                    steps[start] = run.compile(j)
+                i = j
+            else:
+                steps[i] = _make_slow(instrs[i], i)
+                i += 1
+        decoded[block.label] = steps
+    return decoded

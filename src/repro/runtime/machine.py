@@ -36,6 +36,15 @@ from typing import Dict, Optional, Tuple
 #: per-processor store buffers (see :mod:`repro.runtime.memory`).
 MEMORY_MODELS: Tuple[str, ...] = ("sc", "tso", "pso")
 
+#: Barrier synchronization topologies (Mellor-Crummey & Scott):
+#: ``central`` is the seed's single-coordinator rendezvous with a
+#: serialized release (cost grows linearly in the processor count);
+#: ``sense`` is a sense-reversing barrier whose release is one flag
+#: flip (flat cost); ``tree`` is a combining tree of fan-in
+#: ``tree_fanin`` whose arrive/release traffic cascades through the
+#: network in logarithmic depth.  See :mod:`repro.runtime.topology`.
+BARRIER_TOPOLOGIES: Tuple[str, ...] = ("central", "sense", "tree")
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -75,6 +84,15 @@ class MachineConfig:
     #: (min, max) cycles a buffered write may linger before draining;
     #: None derives an adversarial window from the remote latency.
     drain_window: Optional[Tuple[int, int]] = None
+    #: Which barrier synchronization structure the runtime builds:
+    #: "central" (seed-identical rendezvous), "sense" (sense-reversing,
+    #: flat release) or "tree" (combining tree of fan-in `tree_fanin`).
+    barrier_topology: str = "central"
+    #: Fan-in of the combining-tree barrier; must be a power of two >= 2.
+    tree_fanin: int = 4
+    #: Largest configuration the preset models; the simulator and the
+    #: CLI refuse larger ``--procs`` values.
+    max_procs: int = 1024
 
     @property
     def remote_read_cycles(self) -> int:
@@ -102,6 +120,16 @@ class MachineConfig:
             self, memory_model=model, drain_seed=drain_seed,
             drain_window=drain_window,
         )
+
+    def with_barrier_topology(
+        self, topology: str, tree_fanin: Optional[int] = None,
+    ) -> "MachineConfig":
+        """The same machine with a different barrier structure."""
+        topology = validate_barrier_topology(topology)
+        fanin = self.tree_fanin if tree_fanin is None else tree_fanin
+        if topology == "tree":
+            fanin = validate_tree_fanin(fanin)
+        return replace(self, barrier_topology=topology, tree_fanin=fanin)
 
     @property
     def effective_drain_window(self) -> Tuple[int, int]:
@@ -140,6 +168,8 @@ class MachineConfig:
 
 
 #: Thinking Machines CM-5: high-overhead message layer (Table 1: 400/30).
+#: The CM-5 shipped in configurations up to 1024 nodes, which is the
+#: scale ROADMAP item 4 targets.
 CM5 = MachineConfig(
     name="cm5",
     local_access=30,
@@ -147,6 +177,7 @@ CM5 = MachineConfig(
     recv_overhead=35,
     wire_latency=150,
     remote_handle=30,
+    max_procs=1024,
 )
 
 #: Cray T3D: low-latency remote access (Table 1: 85/23).
@@ -157,9 +188,12 @@ T3D = MachineConfig(
     recv_overhead=10,
     wire_latency=25,
     remote_handle=15,
+    max_procs=2048,
 )
 
-#: Stanford DASH: hardware cache coherence (Table 1: 110/26).
+#: Stanford DASH: hardware cache coherence (Table 1: 110/26).  The
+#: real prototype stopped at 64 processors; keeping the limit makes
+#: the CLI's procs-vs-machine diagnostic meaningful.
 DASH = MachineConfig(
     name="dash",
     local_access=26,
@@ -167,6 +201,7 @@ DASH = MachineConfig(
     recv_overhead=15,
     wire_latency=32,
     remote_handle=16,
+    max_procs=64,
 )
 
 MACHINES: Dict[str, MachineConfig] = {
@@ -194,3 +229,23 @@ def validate_memory_model(name: str) -> str:
             f"unknown memory model {name!r} (known: {known})"
         ) from None
     return model
+
+
+def validate_barrier_topology(name: str) -> str:
+    """Normalizes a barrier-topology name, raising ``KeyError`` if unknown."""
+    topology = name.lower()
+    if topology not in BARRIER_TOPOLOGIES:
+        known = ", ".join(BARRIER_TOPOLOGIES)
+        raise KeyError(
+            f"unknown barrier topology {name!r} (known: {known})"
+        ) from None
+    return topology
+
+
+def validate_tree_fanin(fanin: int) -> int:
+    """Checks a combining-tree fan-in: a power of two, at least 2."""
+    if fanin < 2 or fanin & (fanin - 1):
+        raise ValueError(
+            f"tree fan-in {fanin} is not a power of two >= 2"
+        )
+    return fanin

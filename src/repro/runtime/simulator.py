@@ -64,14 +64,12 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import DeadlockError, NetworkFault, RuntimeFault
 from repro.ir.cfg import Function, Module
 from repro.ir.instructions import (
-    BinOpKind,
     Const,
     Instr,
     Opcode,
@@ -79,23 +77,36 @@ from repro.ir.instructions import (
     Temp,
     UnOpKind,
 )
+
+# The operator helpers and the PENDING sentinel moved to
+# :mod:`repro.runtime.decode` (the threaded-code decoder shares them
+# with the generated step functions); re-exported here for
+# compatibility.
+from repro.runtime.decode import (  # noqa: F401 - re-exports
+    PENDING,
+    Step,
+    _binop,
+    _intrinsic,
+    _Pending,
+    decode_function,
+)
+from repro.runtime.events import CalendarQueue, LinkChannels
 from repro.runtime.machine import MachineConfig, validate_memory_model
 from repro.runtime.memory import GlobalMemory, StoreBuffers, flat_index
 from repro.runtime.network import FaultPlan, Message, MsgKind, Network
-from repro.runtime.sync_objects import BarrierState, FlagTable, LockTable
-from repro.runtime.trace import ExecutionTrace, MemEvent
+from repro.runtime.sync_objects import FlagTable, LockTable
+from repro.runtime.topology import BarrierTopology, build_topology
+from repro.runtime.trace import ExecutionTrace, MemEvent, SyncRecord
 
 Value = Union[int, float]
 
-
-class _Pending:
-    """Sentinel stored in a get's destination until the reply lands."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<pending>"
-
-
-PENDING = _Pending()
+#: Event-engine implementations.  ``batched`` (the default) runs the
+#: calendar-queue core with the decoded threaded-code interpreter;
+#: ``reference`` is the seed flat-heapq loop with the per-instruction
+#: interpreter, retained as the differential oracle (the
+#: ``place_syncs_reference`` convention).  Both produce cycle-identical
+#: schedules on the central topology — the parity tests pin this.
+ENGINES: Tuple[str, ...] = ("batched", "reference")
 
 #: Synchronization opcodes that act as full fences under the weak
 #: memory models: the executing processor's store buffer drains
@@ -132,6 +143,8 @@ class _Frame:
     arrays: Dict[str, List[Value]]
     #: caller temp receiving this frame's return value
     result_dest: Optional[Temp] = None
+    #: decoded step lists per block (batched engine only)
+    code: Optional[Dict[str, List[Step]]] = None
 
 
 @dataclass
@@ -210,6 +223,9 @@ class Processor:
         self.block_reason: Optional[Tuple] = None
         self.counters: Dict[int, int] = {}
         self.instructions = 0
+        #: barriers this processor has executed (the per-proc
+        #: generation serial the precedence oracle pairs arrivals by)
+        self.barrier_no = 0
         module = sim.module
         main = module.functions[sim.entry]
         self.frames: List[_Frame] = [self._make_frame(main, None)]
@@ -232,6 +248,7 @@ class Processor:
             regs=regs,
             arrays=arrays,
             result_dest=result_dest,
+            code=self.sim.decoded(function),
         )
 
     # -- operand evaluation -----------------------------------------------
@@ -289,6 +306,46 @@ class Processor:
             if self._execute(instr, frame):
                 continue
             return  # blocked or done
+
+    def advance_fast(self, now: int) -> None:
+        """:meth:`advance` over decoded step lists (batched engine).
+
+        Same wake accounting, same blocking protocol; the inner loop
+        runs step closures instead of the opcode dispatch.  Step return
+        protocol: ``>= 0`` continue at that index in the same block,
+        ``-1`` refetch frame/block (control transfer), ``-2`` blocked
+        or done.  The cycle-budget check runs per step rather than per
+        instruction; every loop crosses a block boundary (a step), so a
+        runaway program still faults with the seed's message.
+        """
+        if now > self.clock:
+            self.wait_cycles += now - self.clock
+            self.clock = now
+        self.clock += self.stolen
+        self.stolen = 0
+        self.state = ProcState.READY
+        self.block_reason = None
+        max_cycles = self.sim.max_cycles
+        frames = self.frames
+        while True:
+            frame = frames[-1]
+            steps = frame.code[frame.block]
+            index = frame.index
+            regs = frame.regs
+            while True:
+                if self.clock > max_cycles:
+                    frame.index = index
+                    raise RuntimeFault(
+                        f"P{self.pid}: exceeded cycle budget {max_cycles} "
+                        "(runaway loop?)"
+                    )
+                result = steps[index](self, frame, regs)
+                if result >= 0:
+                    index = result
+                    continue
+                if result == -1:
+                    break  # control transfer: refetch frame/block
+                return  # blocked or done
 
     # Returns True to keep running, False when blocked/done.
     def _execute(self, instr: Instr, frame: _Frame) -> bool:
@@ -368,11 +425,14 @@ class Processor:
         elif op is Opcode.UNLOCK:
             return self._unlock(instr)
         elif op is Opcode.BARRIER:
+            if sim.trace is not None:
+                sim.trace.record_sync(
+                    self.pid, "barrier", serial=self.barrier_no,
+                    uid=instr.uid,
+                )
+            self.barrier_no += 1
             self.clock += machine.send_overhead
-            sim.send(
-                Message(MsgKind.BARRIER_ARRIVE, src=self.pid, dst=0),
-                self.clock,
-            )
+            sim.topology.local_arrive(self.pid, self.clock)
             self._block(("barrier",), instr)
             return False
         elif op is Opcode.JUMP:
@@ -660,6 +720,8 @@ class Processor:
     def _post(self, instr: Instr) -> bool:
         sim = self.sim
         owner, key = self._sync_object(instr)
+        if sim.trace is not None:
+            sim.trace.record_sync(self.pid, "post", key, uid=instr.uid)
         if owner == self.pid:
             for waiter in sim.flags.post(key):
                 sim.grant_wait(waiter, key, self.clock)
@@ -685,6 +747,8 @@ class Processor:
     def _wait(self, instr: Instr) -> bool:
         sim = self.sim
         owner, key = self._sync_object(instr)
+        if sim.trace is not None:
+            sim.trace.record_sync(self.pid, "wait", key, uid=instr.uid)
         if owner == self.pid:
             if sim.flags.is_posted(key):
                 self.clock += sim.machine.local_access
@@ -710,13 +774,24 @@ class Processor:
     def _lock(self, instr: Instr) -> bool:
         sim = self.sim
         owner, key = self._sync_object(instr)
+        record: Optional[SyncRecord] = None
+        if sim.trace is not None:
+            record = sim.trace.record_sync(
+                self.pid, "lock", key, uid=instr.uid,
+            )
         if owner == self.pid:
             if sim.locks.acquire(key, self.pid):
+                if record is not None:
+                    record.serial = sim.locks.release_serial(key)
                 self.clock += sim.machine.local_access
                 self.frames[-1].index += 1
                 return True
+            if record is not None:
+                sim._pending_lock[self.pid] = record
             self._block(("lock", key), instr)
             return False
+        if record is not None:
+            sim._pending_lock[self.pid] = record
         self.clock += sim.machine.send_overhead
         sim.send(
             Message(
@@ -734,13 +809,22 @@ class Processor:
     def _unlock(self, instr: Instr) -> bool:
         sim = self.sim
         owner, key = self._sync_object(instr)
+        record: Optional[SyncRecord] = None
+        if sim.trace is not None:
+            record = sim.trace.record_sync(
+                self.pid, "unlock", key, uid=instr.uid,
+            )
         if owner == self.pid:
             next_holder = sim.locks.release(key, self.pid)
+            if record is not None:
+                record.serial = sim.locks.release_serial(key)
             if next_holder is not None:
                 sim.grant_lock(next_holder, key, self.clock)
             self.clock += sim.machine.local_access
             self.frames[-1].index += 1
             return True
+        if record is not None:
+            sim._pending_unlock[self.pid] = record
         self.clock += sim.machine.send_overhead
         tag = sim.new_tag()
         sim.send(
@@ -775,65 +859,6 @@ class Processor:
         self.sim.schedule_resume(self.pid, max(time, self.clock))
 
 
-def _binop(kind: BinOpKind, left: Value, right: Value) -> Value:
-    if kind is BinOpKind.ADD:
-        return left + right
-    if kind is BinOpKind.SUB:
-        return left - right
-    if kind is BinOpKind.MUL:
-        return left * right
-    if kind is BinOpKind.DIV:
-        if isinstance(left, int) and isinstance(right, int):
-            if right == 0:
-                raise RuntimeFault("integer division by zero")
-            return int(math.trunc(left / right))  # C-style truncation
-        if right == 0:
-            raise RuntimeFault("float division by zero")
-        return left / right
-    if kind is BinOpKind.MOD:
-        if right == 0:
-            raise RuntimeFault("modulo by zero")
-        left_i, right_i = int(left), int(right)
-        return left_i - int(math.trunc(left_i / right_i)) * right_i
-    if kind is BinOpKind.EQ:
-        return int(left == right)
-    if kind is BinOpKind.NE:
-        return int(left != right)
-    if kind is BinOpKind.LT:
-        return int(left < right)
-    if kind is BinOpKind.LE:
-        return int(left <= right)
-    if kind is BinOpKind.GT:
-        return int(left > right)
-    if kind is BinOpKind.GE:
-        return int(left >= right)
-    if kind is BinOpKind.AND:
-        return int(bool(left) and bool(right))
-    if kind is BinOpKind.OR:
-        return int(bool(left) or bool(right))
-    raise RuntimeFault(f"unknown binop {kind}")  # pragma: no cover
-
-
-def _intrinsic(name: str, args: List[Value]) -> Value:
-    if name == "min":
-        return min(args)
-    if name == "max":
-        return max(args)
-    if name == "abs":
-        return abs(args[0])
-    if name == "sqrt":
-        return math.sqrt(args[0])
-    if name == "floor":
-        return int(math.floor(args[0]))
-    if name == "exp":
-        return math.exp(args[0])
-    if name == "sin":
-        return math.sin(args[0])
-    if name == "cos":
-        return math.cos(args[0])
-    raise RuntimeFault(f"unknown intrinsic {name}")  # pragma: no cover
-
-
 class Simulator:
     """Drives the processors and the network to completion."""
 
@@ -848,11 +873,22 @@ class Simulator:
         max_cycles: int = 500_000_000,
         fault_plan: Optional[FaultPlan] = None,
         delay_fences: Optional[frozenset] = None,
+        engine: str = "batched",
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})"
+            )
+        if num_procs > machine.max_procs:
+            raise RuntimeFault(
+                f"{num_procs} processors exceeds the {machine.name} "
+                f"model's limit of {machine.max_procs}"
+            )
         self.module = module
         self.num_procs = num_procs
         self.machine = machine
         self.entry = entry
+        self.engine = engine
         self.max_cycles = max_cycles
         self.memory = GlobalMemory(module, num_procs)
         self.fault_plan = fault_plan
@@ -875,15 +911,31 @@ class Simulator:
         )
         self.flags = FlagTable()
         self.locks = LockTable()
-        self.barrier = BarrierState(num_procs)
+        self.topology: BarrierTopology = build_topology(machine, self)
         self.trace: Optional[ExecutionTrace] = (
             ExecutionTrace(num_procs) if trace else None
         )
         self.outstanding_stores = 0
         self.store_sync_waiters: List[int] = []
-        self.procs = [Processor(pid, self) for pid in range(num_procs)]
+        #: sync records awaiting their lock/unlock pairing serial
+        self._pending_lock: Dict[int, SyncRecord] = {}
+        self._pending_unlock: Dict[int, SyncRecord] = {}
+        # Event cores.  Only one is driven per run, but both exist so
+        # the bound _push/_deliver below stay branch-free.
         self._events: List[Tuple[int, int, Tuple]] = []
         self._seq = itertools.count()
+        self._calendar = CalendarQueue()
+        self._links = LinkChannels()
+        self._push: Callable[[int, tuple], None]
+        self._deliver: Callable[[int, Message], None]
+        if engine == "batched":
+            self._push = self._calendar.push
+            self._deliver = self._deliver_batched
+        else:
+            self._push = self._push_reference
+            self._deliver = self._deliver_reference
+        self._decoded_cache: Dict[str, Dict[str, List[Step]]] = {}
+        self.procs = [Processor(pid, self) for pid in range(num_procs)]
         self._tags = itertools.count(1)
         self._done_count = 0
         self._trace_events: Dict[int, MemEvent] = {}
@@ -892,8 +944,35 @@ class Simulator:
         self._unacked: Dict[Tuple[int, int], Dict[int, _Retransmit]] = {}
         self._recv_expected: Dict[Tuple[int, int], int] = {}
         self._recv_buffer: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        self._handlers: Dict[MsgKind, Callable[[int, Message], None]] = {
+            MsgKind.GET_REQ: self._on_get_req,
+            MsgKind.GET_REPLY: self._on_get_reply,
+            MsgKind.PUT_REQ: self._on_put_req,
+            MsgKind.PUT_ACK: self._on_put_ack,
+            MsgKind.STORE_REQ: self._on_store_req,
+            MsgKind.POST_REQ: self._on_post_req,
+            MsgKind.WAIT_REQ: self._on_wait_req,
+            MsgKind.WAIT_GRANT: self._on_grant,
+            MsgKind.LOCK_REQ: self._on_lock_req,
+            MsgKind.LOCK_GRANT: self._on_grant,
+            MsgKind.UNLOCK_REQ: self._on_unlock_req,
+            MsgKind.BARRIER_ARRIVE: self.topology.on_arrive,
+            MsgKind.BARRIER_RELEASE: self.topology.on_release,
+        }
 
     # -- infrastructure used by processors -----------------------------------
+
+    def decoded(self, function: Function) -> Optional[Dict[str, List[Step]]]:
+        """Decoded step lists for ``function`` (batched engine only)."""
+        if self.engine != "batched":
+            return None
+        code = self._decoded_cache.get(function.name)
+        if code is None:
+            code = decode_function(
+                function, self.machine, self.delay_fences, sim=self,
+            )
+            self._decoded_cache[function.name] = code
+        return code
 
     def new_tag(self) -> int:
         return next(self._tags)
@@ -908,8 +987,7 @@ class Simulator:
         if trace_event is not None:
             self._trace_events[id(msg)] = trace_event
         if self.fault_plan is None:
-            arrival = self.network.send(msg, now)
-            self._push(arrival, ("deliver", msg))
+            self._deliver(self.network.send(msg, now), msg)
             return
         # Reliable path: wrap in a sequence-numbered envelope; the
         # receiver delivers per-link traffic in seq order, restoring
@@ -1013,8 +1091,19 @@ class Simulator:
         """Queues a background store-buffer drain (weak models only)."""
         self._push(time, ("drain", pid, entry_id))
 
-    def _push(self, time: int, payload: Tuple) -> None:
+    def _push_reference(self, time: int, payload: Tuple) -> None:
         heapq.heappush(self._events, (time, next(self._seq), payload))
+
+    def _deliver_reference(self, arrival: int, msg: Message) -> None:
+        self._push(arrival, ("deliver", msg))
+
+    def _deliver_batched(self, arrival: int, msg: Message) -> None:
+        # Perfect-network FIFO bumps make per-link arrivals strictly
+        # increasing, so the ring head always corresponds to the
+        # earliest pending ("link", ring) event on the calendar.
+        self._calendar.push(
+            arrival, self._links.enqueue((msg.src, msg.dst), msg)
+        )
 
     def proc_finished(self, proc: Processor) -> None:
         self._done_count += 1
@@ -1038,6 +1127,10 @@ class Simulator:
 
     def grant_lock(self, next_holder: int, key: Tuple[str, int],
                    now: int) -> None:
+        record = self._pending_lock.pop(next_holder, None)
+        if record is not None:
+            # The handoff follows the release that just happened.
+            record.serial = self.locks.release_serial(key)
         home = self.memory.owner(key[0], self._key_indices(key))
         if next_holder == home:
             self.procs[next_holder].wake(now + self.machine.remote_handle)
@@ -1070,129 +1163,146 @@ class Simulator:
     # -- message handling -----------------------------------------------------------
 
     def _handle_message(self, arrival: int, msg: Message) -> None:
+        """Dispatches one delivered logical message to its handler."""
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            raise RuntimeFault(f"unhandled message kind {msg.kind}")
+        handler(arrival, msg)
+
+    def _on_get_req(self, arrival: int, msg: Message) -> None:
         machine = self.machine
-        kind = msg.kind
-        if kind is MsgKind.GET_REQ:
-            value = self.memory.read(msg.var, msg.indices)
-            owner = self.procs[msg.dst]
-            owner.stolen += machine.remote_handle
-            reply = Message(
-                MsgKind.GET_REPLY,
-                src=msg.dst,
-                dst=msg.src,
-                var=msg.var,
-                value=value,
-                dest_temp=msg.dest_temp,
-                local_array=msg.local_array,
-                local_flat=msg.local_flat,
-                counter=msg.counter,
-                tag=msg.tag,
-            )
-            event = self._trace_events.pop(id(msg), None)
-            self.send(reply, arrival + machine.remote_handle,
-                      trace_event=event)
-        elif kind is MsgKind.GET_REPLY:
-            proc = self.procs[msg.dst]
-            if not proc.frames:
-                # The processor already returned; the fetched value has
-                # no landing pad left (legal only for dead gets).
-                event = self._trace_events.pop(id(msg), None)
-                if event is not None:
-                    event.value = msg.value
-                return
-            if msg.local_array is not None:
-                proc.frames[-1].arrays[msg.local_array][msg.local_flat] = (
-                    msg.value
-                )
-            else:
-                proc.frames[-1].regs[msg.dest_temp] = msg.value
+        value = self.memory.read(msg.var, msg.indices)
+        owner = self.procs[msg.dst]
+        owner.stolen += machine.remote_handle
+        reply = Message(
+            MsgKind.GET_REPLY,
+            src=msg.dst,
+            dst=msg.src,
+            var=msg.var,
+            value=value,
+            dest_temp=msg.dest_temp,
+            local_array=msg.local_array,
+            local_flat=msg.local_flat,
+            counter=msg.counter,
+            tag=msg.tag,
+        )
+        event = self._trace_events.pop(id(msg), None)
+        self.send(reply, arrival + machine.remote_handle,
+                  trace_event=event)
+
+    def _on_get_reply(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        proc = self.procs[msg.dst]
+        if not proc.frames:
+            # The processor already returned; the fetched value has
+            # no landing pad left (legal only for dead gets).
             event = self._trace_events.pop(id(msg), None)
             if event is not None:
                 event.value = msg.value
-            if msg.counter is not None:
-                self._complete_counter(proc, msg.counter, arrival)
-            else:
-                proc.wake(arrival + machine.recv_overhead)
-        elif kind is MsgKind.PUT_REQ:
-            self.memory.write(msg.var, msg.indices, msg.value)
-            owner = self.procs[msg.dst]
-            owner.stolen += machine.remote_handle
+            return
+        if msg.local_array is not None:
+            proc.frames[-1].arrays[msg.local_array][msg.local_flat] = (
+                msg.value
+            )
+        else:
+            proc.frames[-1].regs[msg.dest_temp] = msg.value
+        event = self._trace_events.pop(id(msg), None)
+        if event is not None:
+            event.value = msg.value
+        if msg.counter is not None:
+            self._complete_counter(proc, msg.counter, arrival)
+        else:
+            proc.wake(arrival + machine.recv_overhead)
+
+    def _on_put_req(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        self.memory.write(msg.var, msg.indices, msg.value)
+        owner = self.procs[msg.dst]
+        owner.stolen += machine.remote_handle
+        self.send(
+            Message(
+                MsgKind.PUT_ACK,
+                src=msg.dst,
+                dst=msg.src,
+                counter=msg.counter,
+                tag=msg.tag,
+            ),
+            arrival + machine.remote_handle,
+        )
+
+    def _on_put_ack(self, arrival: int, msg: Message) -> None:
+        proc = self.procs[msg.dst]
+        if msg.counter is not None:
+            self._complete_counter(proc, msg.counter, arrival)
+        else:
+            proc.wake(arrival + self.machine.recv_overhead)
+
+    def _on_store_req(self, arrival: int, msg: Message) -> None:
+        self.memory.write(msg.var, msg.indices, msg.value)
+        self.procs[msg.dst].stolen += self.machine.remote_handle
+        self.outstanding_stores -= 1
+        self._check_store_drain(arrival)
+
+    def _on_post_req(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        for waiter in self.flags.post(self.location_of(msg.var,
+                                                       msg.indices)):
+            self.grant_wait(waiter, self.location_of(msg.var, msg.indices),
+                            arrival + machine.remote_handle)
+        self.procs[msg.dst].stolen += machine.remote_handle
+        self.send(
+            Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
+                    tag=msg.tag),
+            arrival + machine.remote_handle,
+        )
+
+    def _on_wait_req(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        key = self.location_of(msg.var, msg.indices)
+        self.procs[msg.dst].stolen += machine.remote_handle
+        if self.flags.is_posted(key):
             self.send(
-                Message(
-                    MsgKind.PUT_ACK,
-                    src=msg.dst,
-                    dst=msg.src,
-                    counter=msg.counter,
-                    tag=msg.tag,
-                ),
+                Message(MsgKind.WAIT_GRANT, src=msg.dst, dst=msg.src,
+                        var=msg.var, indices=msg.indices),
                 arrival + machine.remote_handle,
             )
-        elif kind is MsgKind.PUT_ACK:
-            proc = self.procs[msg.dst]
-            if msg.counter is not None:
-                self._complete_counter(proc, msg.counter, arrival)
-            else:
-                proc.wake(arrival + machine.recv_overhead)
-        elif kind is MsgKind.STORE_REQ:
-            self.memory.write(msg.var, msg.indices, msg.value)
-            self.procs[msg.dst].stolen += machine.remote_handle
-            self.outstanding_stores -= 1
-            self._check_store_drain(arrival)
-        elif kind is MsgKind.POST_REQ:
-            for waiter in self.flags.post(self.location_of(msg.var,
-                                                           msg.indices)):
-                self.grant_wait(waiter, self.location_of(msg.var, msg.indices),
-                                arrival + machine.remote_handle)
-            self.procs[msg.dst].stolen += machine.remote_handle
+        else:
+            self.flags.add_waiter(key, msg.src)
+
+    def _on_grant(self, arrival: int, msg: Message) -> None:
+        """WAIT_GRANT / LOCK_GRANT: wake the granted processor."""
+        self.procs[msg.dst].wake(arrival + self.machine.recv_overhead)
+
+    def _on_lock_req(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        key = self.location_of(msg.var, msg.indices)
+        self.procs[msg.dst].stolen += machine.remote_handle
+        if self.locks.acquire(key, msg.src):
+            record = self._pending_lock.pop(msg.src, None)
+            if record is not None:
+                record.serial = self.locks.release_serial(key)
             self.send(
-                Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
-                        tag=msg.tag),
+                Message(MsgKind.LOCK_GRANT, src=msg.dst, dst=msg.src,
+                        var=msg.var, indices=msg.indices),
                 arrival + machine.remote_handle,
             )
-        elif kind is MsgKind.WAIT_REQ:
-            key = self.location_of(msg.var, msg.indices)
-            self.procs[msg.dst].stolen += machine.remote_handle
-            if self.flags.is_posted(key):
-                self.send(
-                    Message(MsgKind.WAIT_GRANT, src=msg.dst, dst=msg.src,
-                            var=msg.var, indices=msg.indices),
-                    arrival + machine.remote_handle,
-                )
-            else:
-                self.flags.add_waiter(key, msg.src)
-        elif kind is MsgKind.WAIT_GRANT:
-            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
-        elif kind is MsgKind.LOCK_REQ:
-            key = self.location_of(msg.var, msg.indices)
-            self.procs[msg.dst].stolen += machine.remote_handle
-            if self.locks.acquire(key, msg.src):
-                self.send(
-                    Message(MsgKind.LOCK_GRANT, src=msg.dst, dst=msg.src,
-                            var=msg.var, indices=msg.indices),
-                    arrival + machine.remote_handle,
-                )
-        elif kind is MsgKind.LOCK_GRANT:
-            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
-        elif kind is MsgKind.UNLOCK_REQ:
-            key = self.location_of(msg.var, msg.indices)
-            self.procs[msg.dst].stolen += machine.remote_handle
-            next_holder = self.locks.release(key, msg.src)
-            if next_holder is not None:
-                self.grant_lock(next_holder, key,
-                                arrival + machine.remote_handle)
-            self.send(
-                Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
-                        tag=msg.tag),
-                arrival + machine.remote_handle,
-            )
-        elif kind is MsgKind.BARRIER_ARRIVE:
-            if self.barrier.arrive(msg.src, arrival):
-                self.barrier.pending_release = True
-                self._check_store_drain(arrival)
-        elif kind is MsgKind.BARRIER_RELEASE:
-            self.procs[msg.dst].wake(arrival + machine.recv_overhead)
-        else:  # pragma: no cover - defensive
-            raise RuntimeFault(f"unhandled message kind {kind}")
+
+    def _on_unlock_req(self, arrival: int, msg: Message) -> None:
+        machine = self.machine
+        key = self.location_of(msg.var, msg.indices)
+        self.procs[msg.dst].stolen += machine.remote_handle
+        next_holder = self.locks.release(key, msg.src)
+        record = self._pending_unlock.pop(msg.src, None)
+        if record is not None:
+            record.serial = self.locks.release_serial(key)
+        if next_holder is not None:
+            self.grant_lock(next_holder, key,
+                            arrival + machine.remote_handle)
+        self.send(
+            Message(MsgKind.PUT_ACK, src=msg.dst, dst=msg.src,
+                    tag=msg.tag),
+            arrival + machine.remote_handle,
+        )
 
     def _complete_counter(self, proc: Processor, counter: int,
                           arrival: int) -> None:
@@ -1215,18 +1325,7 @@ class Simulator:
     def _check_store_drain(self, now: int) -> None:
         if self.outstanding_stores:
             return
-        if self.barrier.pending_release:
-            release_time = (
-                max(now, self.barrier.last_arrival_time)
-                + self.machine.barrier_base
-                + self.machine.barrier_per_proc * self.num_procs
-            )
-            for pid in range(self.num_procs):
-                self.send(
-                    Message(MsgKind.BARRIER_RELEASE, src=0, dst=pid),
-                    release_time,
-                )
-            self.barrier.release()
+        self.topology.maybe_release(now)
         if self.store_sync_waiters:
             waiters, self.store_sync_waiters = self.store_sync_waiters, []
             for pid in waiters:
@@ -1262,10 +1361,7 @@ class Simulator:
             held = f" held by P{holder}" if holder is not None else ""
             return f"lock {var}[{flat}]{held}"
         if kind == "barrier":
-            return (
-                f"barrier generation {self.barrier.generation} "
-                f"({len(self.barrier.arrived)}/{self.num_procs} arrived)"
-            )
+            return self.topology.describe_block()
         return repr(reason)
 
     def deadlock_report(self) -> str:
@@ -1306,12 +1402,7 @@ class Simulator:
             lines.append(
                 f"  lock {key[0]}[{key[1]}] held by P{holder}{queued}"
             )
-        barrier = self.barrier
-        lines.append(
-            f"  barrier: generation {barrier.generation}, arrived "
-            f"{sorted(barrier.arrived) or '[]'}, "
-            f"pending_release={barrier.pending_release}"
-        )
+        lines.extend(self.topology.forensics())
         lines.append("network:")
         lines.append(
             f"  in-flight message copies: {self.network.in_flight}"
@@ -1338,6 +1429,12 @@ class Simulator:
     # -- main loop ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        if self.engine == "batched":
+            return self._run_batched()
+        return self._run_reference()
+
+    def _run_reference(self) -> SimulationResult:
+        """The seed event loop: one flat heap, one event per pop."""
         for pid in range(self.num_procs):
             self.schedule_resume(pid, 0)
         while self._events:
@@ -1361,6 +1458,47 @@ class Simulator:
                 self.weak.drain(payload[1], payload[2])
             else:  # "retx"
                 self._handle_retx(time, *payload[1])
+        return self._finish()
+
+    def _run_batched(self) -> SimulationResult:
+        """Calendar-queue loop: one heap pop per *timestamp*, with all
+        same-time events dispatched in insertion order (identical to
+        the reference heap's seq tie-break) and pushes landing on the
+        live batch mid-dispatch."""
+        for pid in range(self.num_procs):
+            self.schedule_resume(pid, 0)
+        calendar = self._calendar
+        procs = self.procs
+        network = self.network
+        weak = self.weak
+        while calendar.times:
+            time, batch = calendar.pop_batch()
+            i = 0
+            while i < len(batch):
+                payload = batch[i]
+                i += 1
+                tag = payload[0]
+                if tag == "link":
+                    network.delivered()
+                    self._handle_message(time, payload[1].popleft())
+                elif tag == "resume":
+                    proc = procs[payload[1]]
+                    if proc.state is not ProcState.DONE:
+                        proc.advance_fast(time)
+                elif tag == "drain":
+                    weak.drain(payload[1], payload[2])
+                elif tag == "xport":
+                    network.delivered()
+                    self._handle_xport(time, payload[1])
+                elif tag == "xack":
+                    network.delivered()
+                    self._handle_xack(payload[1])
+                else:  # "retx"
+                    self._handle_retx(time, *payload[1])
+            calendar.retire(time)
+        return self._finish()
+
+    def _finish(self) -> SimulationResult:
         if self._done_count != self.num_procs:
             blocked = [
                 f"P{p.pid} blocked on {self._describe_block_reason(p)}"
@@ -1399,11 +1537,12 @@ def run_module(
     max_cycles: int = 500_000_000,
     fault_plan: Optional[FaultPlan] = None,
     delay_fences: Optional[frozenset] = None,
+    engine: str = "batched",
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``module`` to completion."""
     sim = Simulator(
         module, num_procs, machine, seed=seed, trace=trace,
         max_cycles=max_cycles, fault_plan=fault_plan,
-        delay_fences=delay_fences,
+        delay_fences=delay_fences, engine=engine,
     )
     return sim.run()

@@ -262,3 +262,85 @@ class TestPipelineDebugFlags:
         names = [e["pass"] for e in payload["pass_events"]]
         assert "split-phase" in names
         assert "analysis-sync" in names
+
+
+class TestRuntimeFlags:
+    """--barrier-topology / --tree-fanin / --engine / --procs limits."""
+
+    def test_run_under_each_topology(self, program_file, capsys):
+        outputs = []
+        for topology in ("central", "sense", "tree"):
+            assert main([
+                "run", program_file, "--procs", "4",
+                "--barrier-topology", topology,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert all("cycles" in out for out in outputs)
+
+    def test_reference_engine_matches_batched(self, program_file, capsys):
+        assert main(["run", program_file, "--procs", "4"]) == 0
+        batched = capsys.readouterr().out
+        assert main([
+            "run", program_file, "--procs", "4", "--engine", "reference",
+        ]) == 0
+        assert capsys.readouterr().out == batched
+
+    def test_unknown_topology_exits_two(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--barrier-topology", "mesh",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "unknown barrier topology 'mesh'" in err
+        assert "central" in err and "tree" in err
+
+    def test_non_power_of_two_fanin_exits_two(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--barrier-topology", "tree",
+            "--tree-fanin", "3",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "not a power of two" in err
+
+    def test_fanin_without_tree_is_ignored(self, program_file, capsys):
+        # --tree-fanin only matters under --barrier-topology tree; a
+        # bogus value with the default central topology must not trip.
+        assert main([
+            "run", program_file, "--procs", "2", "--tree-fanin", "3",
+        ]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_procs_over_machine_limit_exits_two(self, program_file, capsys):
+        assert main([
+            "run", program_file, "--procs", "2048", "--machine", "cm5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "exceeds" in err and "1024" in err
+
+    def test_unknown_engine_exits_two(self, program_file, capsys):
+        assert main(["run", program_file, "--engine", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "unknown engine 'warp'" in err
+
+    def test_fuzz_accepts_tree_topology(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "fuzz", "--iterations", "2", "--quiet",
+            "--barrier-topology", "tree",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["totals"]["failures"] == 0
+        assert payload["totals"]["runs"] > 0
+
+    def test_fuzz_unknown_topology_exits_two(self, capsys):
+        assert main([
+            "fuzz", "--iterations", "1", "--barrier-topology", "ring",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "unknown barrier topology 'ring'" in err

@@ -1,0 +1,239 @@
+"""PrecedenceOracle vs. brute-force happens-before on small traces.
+
+The oracle answers ``precedes`` in O(log segments) via segment clocks
+and barrier epochs; these tests pin it against an independent
+transitive-closure computation over the same synchronization rules:
+
+* program order within a processor;
+* ``post(key)`` before every ``wait(key)`` (one post per key here, so
+  the pairing is unambiguous);
+* ``unlock(key, s)`` before ``lock(key, s)`` (serial-matched);
+* same-generation barrier records mutually ordered (one episode), and
+  transitively everything before the barrier before everything after.
+"""
+
+import itertools
+
+import pytest
+
+from repro.runtime import CM5, run_module
+from repro.runtime.consistency import (
+    _fast_sc_verdict,
+    is_sequentially_consistent,
+)
+from repro.runtime.trace import ExecutionTrace, PrecedenceOracle
+from tests.helpers import inlined
+
+F = ("Flag", 0)
+G = ("Flag", 1)
+L = ("Lock", 0)
+
+
+def build(*per_proc):
+    """Trace from per-proc lists of data ops and sync records.
+
+    Items: ``("w"|"r", loc, value)``, ``("post"|"wait", key)``,
+    ``("lock"|"unlock", key, serial)``, ``("barrier", generation)``.
+    """
+    trace = ExecutionTrace(len(per_proc))
+    for proc, items in enumerate(per_proc):
+        for item in items:
+            kind = item[0]
+            if kind == "w":
+                trace.record_write(proc, item[1], item[2])
+            elif kind == "r":
+                trace.record_read_issue(proc, item[1]).value = item[2]
+            elif kind in ("post", "wait"):
+                trace.record_sync(proc, kind, key=item[1])
+            elif kind in ("lock", "unlock"):
+                trace.record_sync(proc, kind, key=item[1], serial=item[2])
+            else:
+                trace.record_sync(proc, "barrier", serial=item[1])
+    return trace
+
+
+def brute_force_hb(trace):
+    """Reachability over the explicit hb edge rules (tiny traces only)."""
+    nodes = []
+    for proc, events in enumerate(trace.per_proc):
+        nodes += [(proc, e.pos) for e in events]
+    syncs = {}
+    for proc, records in enumerate(trace.sync_per_proc):
+        for rec in records:
+            nodes.append((proc, rec.pos))
+            syncs.setdefault((rec.kind, rec.key, rec.serial), []).append(
+                (proc, rec.pos)
+            )
+    edges = {node: set() for node in nodes}
+    by_proc = {}
+    for proc, pos in nodes:
+        by_proc.setdefault(proc, []).append(pos)
+    for proc, positions in by_proc.items():
+        positions.sort()
+        for a, b in zip(positions, positions[1:]):
+            edges[(proc, a)].add((proc, b))
+    for (kind, key, serial), sources in syncs.items():
+        if kind == "post":
+            for target in syncs.get(("wait", key, serial), []):
+                for source in sources:
+                    edges[source].add(target)
+        elif kind == "unlock":
+            for target in syncs.get(("lock", key, serial), []):
+                for source in sources:
+                    edges[source].add(target)
+        elif kind == "barrier":
+            for a, b in itertools.permutations(sources, 2):
+                edges[a].add(b)
+    reach = {node: set(targets) for node, targets in edges.items()}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            extra = set()
+            for mid in reach[node]:
+                extra |= reach[mid] - reach[node]
+            if extra:
+                reach[node] |= extra
+                changed = True
+    return nodes, reach
+
+
+def assert_oracle_matches_brute_force(trace):
+    oracle = PrecedenceOracle(trace)
+    assert oracle.complete
+    nodes, reach = brute_force_hb(trace)
+    for (pa, a), (pb, b) in itertools.permutations(nodes, 2):
+        expected = a < b if pa == pb else (pb, b) in reach[(pa, a)]
+        assert oracle.precedes(pa, a, pb, b) == expected, (
+            f"precedes(P{pa}:{a}, P{pb}:{b})"
+        )
+
+
+class TestAgainstBruteForce:
+    def test_post_wait_chain(self):
+        assert_oracle_matches_brute_force(build(
+            [("w", ("X", 0), 1), ("post", F), ("w", ("X", 1), 2)],
+            [("wait", F), ("r", ("X", 0), 1)],
+            [("r", ("X", 1), 0)],
+        ))
+
+    def test_transitive_post_wait(self):
+        # P0 -post F-> P1 -post G-> P2: the oracle must see the
+        # two-hop ordering from P0's write to P2's read.
+        trace = build(
+            [("w", ("X", 0), 1), ("post", F)],
+            [("wait", F), ("post", G)],
+            [("wait", G), ("r", ("X", 0), 1)],
+        )
+        assert_oracle_matches_brute_force(trace)
+        oracle = PrecedenceOracle(trace)
+        write = trace.per_proc[0][0]
+        read = trace.per_proc[2][0]
+        assert oracle.precedes(write.proc, write.pos, read.proc, read.pos)
+
+    def test_lock_serial_chain(self):
+        assert_oracle_matches_brute_force(build(
+            [("lock", L, 0), ("w", ("X", 0), 1), ("unlock", L, 1)],
+            [("lock", L, 1), ("r", ("X", 0), 1), ("unlock", L, 2)],
+            [("lock", L, 2), ("r", ("X", 0), 1), ("unlock", L, 3)],
+        ))
+
+    def test_barrier_epochs(self):
+        assert_oracle_matches_brute_force(build(
+            [("w", ("X", 0), 1), ("barrier", 0), ("r", ("X", 1), 2),
+             ("barrier", 1)],
+            [("w", ("X", 1), 2), ("barrier", 0), ("r", ("X", 0), 1),
+             ("barrier", 1), ("w", ("X", 2), 3)],
+            [("barrier", 0), ("barrier", 1), ("r", ("X", 2), 0)],
+        ))
+
+    def test_mixed_sync_kinds(self):
+        assert_oracle_matches_brute_force(build(
+            [("w", ("A", 0), 1), ("post", F), ("barrier", 0),
+             ("lock", L, 0), ("unlock", L, 1)],
+            [("wait", F), ("r", ("A", 0), 1), ("barrier", 0),
+             ("lock", L, 1), ("unlock", L, 2)],
+        ))
+
+    def test_unsynchronized_procs_unordered(self):
+        trace = build(
+            [("w", ("X", 0), 1), ("w", ("X", 1), 2)],
+            [("r", ("X", 0), 0), ("r", ("X", 1), 0)],
+        )
+        assert_oracle_matches_brute_force(trace)
+        oracle = PrecedenceOracle(trace)
+        a = trace.per_proc[0][0]
+        b = trace.per_proc[1][0]
+        assert not oracle.ordered(a, b)
+
+
+class TestReplayLimits:
+    def test_incomplete_replay_reported(self):
+        # A wait with no matching post cannot replay; the oracle must
+        # flag itself incomplete rather than invent an ordering.
+        trace = build([("wait", F), ("r", ("X", 0), 0)])
+        oracle = PrecedenceOracle(trace)
+        assert not oracle.complete
+        assert oracle.topological_events() is None
+
+    def test_topological_order_respects_hb(self):
+        trace = build(
+            [("w", ("X", 0), 1), ("post", F)],
+            [("wait", F), ("r", ("X", 0), 1)],
+        )
+        oracle = PrecedenceOracle(trace)
+        topo = oracle.topological_events()
+        assert topo is not None and len(topo) == 2
+        keys = [(e.proc, e.pos) for e in topo]
+        assert keys.index((0, 0)) < keys.index((1, 1))
+
+
+class TestFastPathAgreesWithSearch:
+    """The oracle-driven SC fast path vs. the exact interleaving search."""
+
+    def _traced(self, source, procs=2, **kwargs):
+        return run_module(
+            inlined(source), procs, CM5, trace=True, **kwargs
+        ).trace
+
+    def test_figure_one_pattern_accepted_without_search(self):
+        trace = self._traced(
+            "shared int Data; shared flag_t Flag;\n"
+            "void main() {\n"
+            "  if (MYPROC == 0) { Data = 7; post(Flag); }\n"
+            "  else { wait(Flag); Data = Data + 1; }\n"
+            "}\n"
+        )
+        assert _fast_sc_verdict(trace, {}) is True
+        assert is_sequentially_consistent(trace)
+
+    def test_barrier_program_accepted_without_search(self):
+        trace = self._traced(
+            "shared int A[4]; shared int B[4];\n"
+            "void main() {\n"
+            "  A[MYPROC] = MYPROC;\n"
+            "  barrier();\n"
+            "  B[MYPROC] = A[(MYPROC + 1) % PROCS] + 10;\n"
+            "}\n",
+            procs=4,
+        )
+        assert _fast_sc_verdict(trace, {}) is True
+        assert is_sequentially_consistent(trace)
+
+    def test_racy_trace_abstains_then_search_decides(self):
+        # A race makes the fast path abstain (None, never False); the
+        # exact search still accepts the program-order-legal outcome.
+        trace = build(
+            [("w", ("X", 0), 1), ("post", F)],
+            [("wait", F), ("r", ("X", 0), 0)],  # hb-stale read
+        )
+        assert _fast_sc_verdict(trace, {}) is None
+        assert is_sequentially_consistent(trace)
+
+    def test_non_sc_trace_rejected_by_search(self):
+        trace = build(
+            [("w", ("X", 0), 1)],
+            [("r", ("X", 0), 7)],  # value never written
+        )
+        assert _fast_sc_verdict(trace, {}) is None
+        assert not is_sequentially_consistent(trace)
